@@ -1,0 +1,39 @@
+//! Criterion: fidelity cost of the distributed execution modes — the
+//! sequential Tap executor versus synchronous-round accounting versus one
+//! thread per neuron.
+
+use std::collections::HashSet;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neurofail_distsim::rounds::run_synchronous;
+use neurofail_distsim::threaded::run_threaded;
+use neurofail_inject::InjectionPlan;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_tensor::init::Init;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_modes(c: &mut Criterion) {
+    let net = MlpBuilder::new(4)
+        .dense(16, Activation::Sigmoid { k: 1.0 })
+        .dense(8, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut SmallRng::seed_from_u64(5));
+    let x = vec![0.5; 4];
+    let mut group = c.benchmark_group("execution_modes");
+    group.bench_function("sequential_forward", |b| {
+        b.iter(|| net.forward(black_box(&x)))
+    });
+    group.bench_function("synchronous_rounds", |b| {
+        b.iter(|| run_synchronous(&net, black_box(&x), &InjectionPlan::none(), 1.0))
+    });
+    group.sample_size(10);
+    group.bench_function("thread_per_neuron", |b| {
+        b.iter(|| run_threaded(&net, black_box(&x), &HashSet::new()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

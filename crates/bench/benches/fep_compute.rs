@@ -1,0 +1,57 @@
+//! Criterion: cost of the analytic bound versus exhaustive certification.
+//!
+//! The paper's selling point in numbers: evaluating Fep is O(L) arithmetic,
+//! while the experimental alternative enumerates `C(N, f)` subsets.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_core::tolerance::greedy_max_faults;
+use neurofail_core::{crash_fep, fep, EpsilonBudget, FaultClass, NetworkProfile};
+use neurofail_data::grid::halton_points;
+use neurofail_inject::exhaustive::exhaustive_crash_search;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_tensor::init::Init;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_fep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fep");
+    for depth in [1usize, 4, 16, 64] {
+        let p = NetworkProfile::uniform(depth, 64, 0.1, 1.0, 1.0);
+        let faults = vec![2usize; depth];
+        group.bench_with_input(BenchmarkId::new("eval", depth), &depth, |b, _| {
+            b.iter(|| fep(black_box(&p), black_box(&faults)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fep_vs_exhaustive(c: &mut Criterion) {
+    let net = MlpBuilder::new(2)
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Uniform { a: 0.3 })
+        .bias(false)
+        .build(&mut SmallRng::seed_from_u64(1));
+    let p = NetworkProfile::from_mlp(&net, neurofail_core::Capacity::Bounded(1.0)).unwrap();
+    let inputs = halton_points(2, 8);
+    let mut group = c.benchmark_group("certify_f3_of_12");
+    group.bench_function("analytic_bound", |b| {
+        b.iter(|| crash_fep(black_box(&p), black_box(&[3])))
+    });
+    group.sample_size(10);
+    group.bench_function("exhaustive_C(12,3)x8_inputs", |b| {
+        b.iter(|| exhaustive_crash_search(black_box(&net), 0, 3, black_box(&inputs), 1.0))
+    });
+    group.finish();
+}
+
+fn bench_tolerance_packing(c: &mut Criterion) {
+    let p = NetworkProfile::uniform(4, 32, 0.02, 1.0, 1.0);
+    let budget = EpsilonBudget::new(0.5, 0.1).unwrap();
+    c.bench_function("greedy_max_faults_4x32", |b| {
+        b.iter(|| greedy_max_faults(black_box(&p), budget, FaultClass::Crash))
+    });
+}
+
+criterion_group!(benches, bench_fep, bench_fep_vs_exhaustive, bench_tolerance_packing);
+criterion_main!(benches);

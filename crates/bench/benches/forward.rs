@@ -1,0 +1,50 @@
+//! Criterion: inference throughput of the network substrate (gemv-based
+//! forward pass, with and without workspace reuse, and under fault taps).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_inject::{CompiledPlan, InjectionPlan};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::{Mlp, Workspace};
+use neurofail_tensor::init::Init;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(width: usize) -> Mlp {
+    MlpBuilder::new(16)
+        .dense(width, Activation::Sigmoid { k: 1.0 })
+        .dense(width, Activation::Sigmoid { k: 1.0 })
+        .dense(width / 2, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut SmallRng::seed_from_u64(2))
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    for width in [16usize, 64, 256] {
+        let net = build(width);
+        let x = vec![0.5; 16];
+        let mut ws = Workspace::for_net(&net);
+        group.bench_with_input(BenchmarkId::new("workspace_reuse", width), &width, |b, _| {
+            b.iter(|| net.forward_ws(black_box(&x), &mut ws))
+        });
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", width), &width, |b, _| {
+            b.iter(|| net.forward(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_faulty_forward(c: &mut Criterion) {
+    let net = build(64);
+    let x = vec![0.5; 16];
+    let mut ws = Workspace::for_net(&net);
+    let plan = InjectionPlan::crash([(0, 1), (1, 5), (2, 7)]);
+    let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+    c.bench_function("faulty_forward_3_crashes_w64", |b| {
+        b.iter(|| compiled.run(&net, black_box(&x), &mut ws))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_faulty_forward);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: Monte-Carlo campaign throughput, serial versus the
+//! `neurofail-par` runtime — the parallelism that tames the paper's
+//! combinatorial explosion in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_inject::{run_campaign, CampaignConfig, FaultSpec, TrialKind};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_par::Parallelism;
+use neurofail_tensor::init::Init;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_campaign(c: &mut Criterion) {
+    let net = MlpBuilder::new(8)
+        .dense(32, Activation::Sigmoid { k: 1.0 })
+        .dense(16, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut SmallRng::seed_from_u64(3));
+    let cfg = CampaignConfig {
+        trials: 64,
+        inputs_per_trial: 16,
+        ..CampaignConfig::default()
+    };
+    let mut group = c.benchmark_group("campaign_64x16");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("sequential", Parallelism::Sequential),
+        ("threads_2", Parallelism::Threads(2)),
+        ("all_cores", Parallelism::all_cores()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| {
+                run_campaign(
+                    &net,
+                    &[3, 1],
+                    TrialKind::Neurons(FaultSpec::Crash),
+                    &cfg,
+                    p,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: reduced-precision execution overhead (Theorem 5's
+//! experimental engine).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::Workspace;
+use neurofail_quant::{forward_quantized, quantize_weights, FixedPoint};
+use neurofail_tensor::init::Init;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_quant(c: &mut Criterion) {
+    let net = MlpBuilder::new(8)
+        .dense(64, Activation::Sigmoid { k: 1.0 })
+        .dense(32, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut SmallRng::seed_from_u64(4));
+    let x = vec![0.5; 8];
+    let mut ws = Workspace::for_net(&net);
+    let mut group = c.benchmark_group("quantized_forward");
+    for bits in [4u32, 8, 12] {
+        let format = FixedPoint::unit(bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| forward_quantized(&net, black_box(&x), format, &mut ws))
+        });
+    }
+    group.bench_function("float_baseline", |b| {
+        b.iter(|| net.forward_ws(black_box(&x), &mut ws))
+    });
+    group.finish();
+
+    c.bench_function("quantize_weights_offline", |b| {
+        b.iter(|| quantize_weights(black_box(&net), FixedPoint::unit(8)))
+    });
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

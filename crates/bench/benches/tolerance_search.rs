@@ -1,0 +1,29 @@
+//! Criterion: inverse-search cost — greedy packing versus exact lattice
+//! enumeration (the analytic side's own small explosion, quantified).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_core::tolerance::{exact_max_total_faults, greedy_max_faults, max_uniform_faults};
+use neurofail_core::{EpsilonBudget, FaultClass, NetworkProfile};
+
+fn bench_search(c: &mut Criterion) {
+    let budget = EpsilonBudget::new(0.5, 0.1).unwrap();
+    let mut group = c.benchmark_group("tolerance_search");
+    for n in [6usize, 10, 14] {
+        let p = NetworkProfile::uniform(3, n, 0.05, 1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_max_faults(black_box(&p), budget, FaultClass::Byzantine))
+        });
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            b.iter(|| max_uniform_faults(black_box(&p), budget, FaultClass::Byzantine))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_lattice", n), &n, |b, _| {
+            b.iter(|| {
+                exact_max_total_faults(black_box(&p), budget, FaultClass::Byzantine, 1 << 24)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::explosion`.
+fn main() {
+    neurofail_bench::experiments::explosion::run();
+}

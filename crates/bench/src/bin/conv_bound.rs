@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::conv_bound`.
+fn main() {
+    neurofail_bench::experiments::conv_bound::run();
+}

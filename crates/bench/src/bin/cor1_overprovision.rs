@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::cor1_overprovision`.
+fn main() {
+    neurofail_bench::experiments::cor1_overprovision::run();
+}

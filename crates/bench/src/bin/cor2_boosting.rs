@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::cor2_boosting`.
+fn main() {
+    neurofail_bench::experiments::cor2_boosting::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::fep_training`.
+fn main() {
+    neurofail_bench::experiments::fep_training::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::fig1_topology`.
+fn main() {
+    neurofail_bench::experiments::fig1_topology::run();
+}

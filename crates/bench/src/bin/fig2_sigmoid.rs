@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::fig2_sigmoid`.
+fn main() {
+    neurofail_bench::experiments::fig2_sigmoid::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::fig3_error_vs_lipschitz`.
+fn main() {
+    neurofail_bench::experiments::fig3_error_vs_lipschitz::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::lemma1_unbounded`.
+fn main() {
+    neurofail_bench::experiments::lemma1_unbounded::run();
+}

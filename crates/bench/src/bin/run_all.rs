@@ -1,0 +1,4 @@
+//! Run every experiment of DESIGN.md §4 in index order.
+fn main() {
+    neurofail_bench::experiments::run_all();
+}

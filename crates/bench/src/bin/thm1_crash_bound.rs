@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::thm1_crash`.
+fn main() {
+    neurofail_bench::experiments::thm1_crash::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::thm2_fep`.
+fn main() {
+    neurofail_bench::experiments::thm2_fep::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::thm3_byzantine`.
+fn main() {
+    neurofail_bench::experiments::thm3_byzantine::run();
+}

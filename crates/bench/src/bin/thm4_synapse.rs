@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::thm4_synapse`.
+fn main() {
+    neurofail_bench::experiments::thm4_synapse::run();
+}

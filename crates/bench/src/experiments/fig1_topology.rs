@@ -1,0 +1,26 @@
+//! E1 — Figure 1: the feed-forward topology diagram (d = 3, L = 3,
+//! N = (4, 3, 4), input/output nodes as clients).
+
+use neurofail_data::rng::rng;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::Topology;
+use neurofail_tensor::init::Init;
+
+/// Render the Figure 1 network.
+pub fn run() {
+    println!("== E1 (Figure 1): feed-forward topology, d=3, L=3, N=(4,3,4) ==");
+    let net = MlpBuilder::new(3)
+        .dense(4, Activation::Sigmoid { k: 1.0 })
+        .dense(3, Activation::Sigmoid { k: 1.0 })
+        .dense(4, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut rng(1));
+    let topo = Topology::of(&net);
+    println!("{}", topo.ascii_diagram());
+    println!(
+        "layers L = {}, widths = {:?}, input/output nodes are clients (dotted)\n",
+        topo.depth(),
+        net.widths()
+    );
+}

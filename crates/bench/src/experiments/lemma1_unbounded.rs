@@ -1,0 +1,55 @@
+//! E7 — Lemma 1: with unbounded transmission, a single Byzantine neuron
+//! defeats any network.
+//!
+//! The sweep lets one Byzantine neuron send ever-larger values (capacity C
+//! rising towards "unbounded") and measures the output damage: it grows
+//! without bound — no fixed ε can survive — while the analytic side
+//! reports zero admissible Byzantine faults at C = ∞.
+
+use neurofail_core::byzantine::max_faults_in_layer;
+use neurofail_core::{Capacity, EpsilonBudget, FaultClass, NetworkProfile};
+use neurofail_inject::{run_campaign, CampaignConfig, FaultSpec, TrialKind};
+use neurofail_par::Parallelism;
+
+use crate::report::{f, Reporter};
+use crate::zoo::quick_net;
+
+/// Run the Lemma 1 experiment.
+pub fn run() {
+    let (net, _target, eps_prime) = quick_net(0xE7);
+    let budget = EpsilonBudget::new(eps_prime + 0.1, eps_prime).unwrap();
+    let mut rep = Reporter::new(
+        "lemma1_unbounded",
+        &["C", "measured max error (1 Byzantine)", "breaks eps slack?"],
+    );
+    let mut counts = vec![0usize; net.depth()];
+    counts[net.depth() - 1] = 1; // one Byzantine neuron in the last layer
+    for c in [1.0, 10.0, 100.0, 1e3, 1e4, 1e6] {
+        let res = run_campaign(
+            &net,
+            &counts,
+            TrialKind::Neurons(FaultSpec::ByzantineMaxPositive),
+            &CampaignConfig {
+                trials: 30,
+                inputs_per_trial: 8,
+                capacity: c,
+                ..CampaignConfig::default()
+            },
+            Parallelism::all_cores(),
+        );
+        rep.row(&[
+            f(c),
+            f(res.max_error()),
+            (res.max_error() > budget.slack()).to_string(),
+        ]);
+    }
+    rep.finish();
+
+    // The analytic statement at the limit.
+    let profile = NetworkProfile::from_mlp(&net, Capacity::Unbounded).unwrap();
+    let tolerable: Vec<usize> = (1..=profile.depth())
+        .map(|l| max_faults_in_layer(&profile, l, budget, FaultClass::Byzantine))
+        .collect();
+    assert!(tolerable.iter().all(|&t| t == 0));
+    println!("analytic check at C = inf: admissible Byzantine faults per layer = {tolerable:?} (Lemma 1)\n");
+}

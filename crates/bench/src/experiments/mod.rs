@@ -1,0 +1,36 @@
+//! One module per experiment of DESIGN.md §4.
+
+pub mod conv_bound;
+pub mod cor1_overprovision;
+pub mod cor2_boosting;
+pub mod explosion;
+pub mod fep_training;
+pub mod fig1_topology;
+pub mod fig2_sigmoid;
+pub mod fig3_error_vs_lipschitz;
+pub mod lemma1_unbounded;
+pub mod thm1_crash;
+pub mod thm2_fep;
+pub mod thm3_byzantine;
+pub mod thm4_synapse;
+pub mod thm5_precision;
+pub mod tradeoff_learning;
+
+/// Run every experiment in index order (the `run_all` binary).
+pub fn run_all() {
+    fig1_topology::run();
+    fig2_sigmoid::run();
+    fig3_error_vs_lipschitz::run();
+    thm1_crash::run();
+    thm2_fep::run();
+    thm3_byzantine::run();
+    lemma1_unbounded::run();
+    thm4_synapse::run();
+    thm5_precision::run();
+    cor1_overprovision::run();
+    cor2_boosting::run();
+    tradeoff_learning::run();
+    conv_bound::run();
+    explosion::run();
+    fep_training::run();
+}

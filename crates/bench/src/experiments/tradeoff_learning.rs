@@ -1,0 +1,115 @@
+//! E12 — Section V-C: the robustness / ease-of-learning dilemma.
+//!
+//! Two sweeps on the same task:
+//!
+//! * **K sweep** — low K satisfies the bounds with more faults (the
+//!   `K^(L−l)` factors shrink) but is less discriminating, so learning is
+//!   slower / worse; high K learns sharply but tolerates fewer faults.
+//! * **Weight-decay sweep** — stronger decay lowers `w_m`, buying fault
+//!   tolerance at the price of training error.
+
+use neurofail_core::tolerance::greedy_max_faults;
+use neurofail_core::{Capacity, EpsilonBudget, FaultClass, NetworkProfile};
+use neurofail_data::functions::Ridge;
+use neurofail_data::rng::rng;
+use neurofail_data::Dataset;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::train::{train, TrainConfig};
+use neurofail_tensor::init::Init;
+
+use crate::report::{f, Reporter};
+
+/// Run the Section V-C trade-off experiment.
+pub fn run() {
+    let target = Ridge::canonical(2);
+    let data = Dataset::sample(&target, 256, &mut rng(0xE12));
+    let eps = 0.25;
+    // Tolerance counts are evaluated on the Corollary-1 replicated (8×)
+    // variant: on the compact network itself the worst-case bound admits
+    // zero faults at any honest budget, which would hide the K/decay trend.
+    let replication = 8;
+
+    // --- K sweep ---
+    let mut rep = Reporter::new(
+        "tradeoff_lipschitz",
+        &["K", "epochs to mse<=0.005", "final mse", "eps'", "tolerated crashes (8x repl)"],
+    );
+    for k in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut net = MlpBuilder::new(2)
+            .dense(12, Activation::Sigmoid { k })
+            .dense(8, Activation::Sigmoid { k })
+            .init(Init::Xavier)
+            .build(&mut rng(0xE12));
+        let report = train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 200,
+                ..TrainConfig::default()
+            },
+            &mut rng(1 + 0xE12),
+        );
+        let eps_prime =
+            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let profile =
+            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0))
+                .unwrap();
+        let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
+        let tolerated: usize = greedy_max_faults(&profile, budget, FaultClass::Crash)
+            .iter()
+            .sum();
+        rep.row(&[
+            f(k),
+            report
+                .epochs_to_reach(0.005)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| ">200".into()),
+            f(report.final_mse()),
+            f(eps_prime),
+            tolerated.to_string(),
+        ]);
+    }
+    rep.finish();
+
+    // --- Weight-decay sweep ---
+    let mut rep = Reporter::new(
+        "tradeoff_weight_decay",
+        &["decay", "final mse", "w_max", "eps'", "tolerated crashes (8x repl)"],
+    );
+    for decay in [0.0, 1e-4, 1e-3, 5e-3, 2e-2] {
+        let mut net = MlpBuilder::new(2)
+            .dense(12, Activation::Sigmoid { k: 1.0 })
+            .dense(8, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut rng(0xE12));
+        let report = train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 200,
+                weight_decay: decay,
+                ..TrainConfig::default()
+            },
+            &mut rng(2 + 0xE12),
+        );
+        let eps_prime =
+            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let profile =
+            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0))
+                .unwrap();
+        let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
+        let tolerated: usize = greedy_max_faults(&profile, budget, FaultClass::Crash)
+            .iter()
+            .sum();
+        rep.row(&[
+            f(decay),
+            f(report.final_mse()),
+            f(net.max_abs_weight()),
+            f(eps_prime),
+            tolerated.to_string(),
+        ]);
+    }
+    rep.finish();
+    println!("the dilemma: discriminating (high K / big w) nets learn faster, tolerate less\n");
+}

@@ -1,0 +1,119 @@
+//! Experiment output: aligned stdout tables plus CSV artefacts.
+//!
+//! Every experiment binary prints the paper-style rows to stdout and writes
+//! the same series as CSV under `target/experiments/<id>.csv`, so plots can
+//! be regenerated without re-running.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A column-aligned table writer with a CSV side-channel.
+pub struct Reporter {
+    id: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Reporter {
+    /// Start a report for experiment `id` with the given column names.
+    pub fn new(id: &str, columns: &[&str]) -> Self {
+        println!("== {id} ==");
+        Reporter {
+            id: id.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: format mixed cells.
+    pub fn rowf(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| format!("{c}")).collect();
+        self.row(&cells);
+    }
+
+    /// Print the aligned table and write the CSV artefact. Returns the CSV
+    /// path (best-effort: printing succeeds even if the write fails).
+    pub fn finish(self) -> PathBuf {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            let _ = write!(line, "{c:>w$}  ");
+        }
+        println!("{line}");
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            println!("{line}");
+        }
+        println!();
+
+        let dir = PathBuf::from("target/experiments");
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = self.columns.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(&path, csv);
+        }
+        path
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !v.is_finite() {
+        format!("{v}")
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.5), "0.50000");
+        assert_eq!(f(1.23e-7), "1.230e-7");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn reporter_writes_csv() {
+        let mut r = Reporter::new("unit-test-report", &["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        r.rowf(&[&3, &f(0.25)]);
+        let path = r.finish();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,0.25000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut r = Reporter::new("unit-test-bad", &["a", "b"]);
+        r.row(&["only-one".into()]);
+    }
+}

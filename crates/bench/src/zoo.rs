@@ -1,0 +1,133 @@
+//! The network zoo: Net 1 … Net 8 of Figure 3, plus shared builders.
+//!
+//! The paper evaluates "several neural networks, affected with similar
+//! amounts of neuron failures" without publishing them; per DESIGN.md the
+//! substitution is a family of eight trained feed-forward networks of
+//! varying depth and width over the synthetic target catalogue. Shapes are
+//! chosen so the family spans the quantity Figure 3 exhibits — the
+//! polynomial degree of the error in K grows with depth.
+
+use neurofail_data::functions::{GaussianBump, Ridge, SineProduct, SmoothXor, TargetFn};
+use neurofail_data::rng::rng;
+use neurofail_data::Dataset;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::train::{train, TrainConfig};
+use neurofail_nn::Mlp;
+use neurofail_tensor::init::Init;
+
+/// A trained member of the zoo.
+pub struct ZooNet {
+    /// "Net 1" … "Net 8".
+    pub name: String,
+    /// The trained network (K = 1 sigmoids; retune via `set_lipschitz`).
+    pub net: Mlp,
+    /// The target it approximates.
+    pub target: Box<dyn TargetFn>,
+    /// Achieved sup-error estimate ε' on a Halton set.
+    pub eps_prime: f64,
+}
+
+/// Layer shapes of the eight networks: depth 1–4, widths 8–24.
+pub fn zoo_shapes() -> Vec<Vec<usize>> {
+    vec![
+        vec![8],
+        vec![16],
+        vec![12, 8],
+        vec![16, 12],
+        vec![12, 10, 8],
+        vec![16, 12, 8],
+        vec![12, 10, 8, 6],
+        vec![16, 12, 10, 8],
+    ]
+}
+
+/// Train the eight networks (deterministic; a few seconds in release).
+pub fn eight_networks(seed: u64, epochs: usize) -> Vec<ZooNet> {
+    let targets: Vec<Box<dyn TargetFn>> = vec![
+        Box::new(Ridge::canonical(2)),
+        Box::new(GaussianBump::centered(2)),
+        Box::new(SineProduct::gentle(2)),
+        Box::new(SmoothXor { d: 2, sharpness: 6.0 }),
+        Box::new(Ridge::canonical(2)),
+        Box::new(GaussianBump::centered(2)),
+        Box::new(SineProduct::gentle(2)),
+        Box::new(SmoothXor { d: 2, sharpness: 6.0 }),
+    ];
+    zoo_shapes()
+        .into_iter()
+        .zip(targets)
+        .enumerate()
+        .map(|(i, (shape, target))| {
+            let mut r = rng(seed.wrapping_add(i as u64));
+            let mut b = MlpBuilder::new(target.dim());
+            for &w in &shape {
+                b = b.dense(w, Activation::Sigmoid { k: 1.0 });
+            }
+            let mut net = b.init(Init::Xavier).build(&mut r);
+            let data = Dataset::sample(target.as_ref(), 384, &mut r);
+            let cfg = TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            };
+            train(&mut net, &data, &cfg, &mut r);
+            let eps_prime =
+                neurofail_nn::metrics::sup_error_halton(&net, target.as_ref(), 256);
+            ZooNet {
+                name: format!("Net {}", i + 1),
+                net,
+                target,
+                eps_prime,
+            }
+        })
+        .collect()
+}
+
+/// A trained network over-provisioned by Corollary-1 neuron replication:
+/// the same function as [`quick_net`] (bit-identical up to fp summation),
+/// with `m×` the neurons and `1/m` the propagation weights — the regime
+/// where the paper's tolerance counts become non-trivial.
+pub fn overprovisioned_net(seed: u64, m: usize) -> (Mlp, Box<dyn TargetFn>, f64) {
+    let (net, target, eps_prime) = quick_net(seed);
+    (net.replicate(m), target, eps_prime)
+}
+
+/// A quick, small trained network for cheap experiments.
+pub fn quick_net(seed: u64) -> (Mlp, Box<dyn TargetFn>, f64) {
+    let target: Box<dyn TargetFn> = Box::new(Ridge::canonical(2));
+    let mut r = rng(seed);
+    let mut net = MlpBuilder::new(2)
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .dense(8, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    let data = Dataset::sample(target.as_ref(), 256, &mut r);
+    train(&mut net, &data, &TrainConfig::default(), &mut r);
+    let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, target.as_ref(), 256);
+    (net, target, eps_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_eight_distinct_shapes() {
+        let shapes = zoo_shapes();
+        assert_eq!(shapes.len(), 8);
+        for (i, a) in shapes.iter().enumerate() {
+            for b in shapes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Depths span 1..=4 (the polynomial-degree axis of Figure 3).
+        assert_eq!(shapes.iter().map(|s| s.len()).min(), Some(1));
+        assert_eq!(shapes.iter().map(|s| s.len()).max(), Some(4));
+    }
+
+    #[test]
+    fn quick_net_learns_its_target() {
+        let (_, _, eps_prime) = quick_net(7);
+        assert!(eps_prime < 0.2, "eps' = {eps_prime}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Theorem 1: the tight crash-failure bound for single-layer networks.
+//!
+//! For a single-layer neural ε'-approximation with output weights bounded by
+//! `w_m`, any `N_fail ≤ (ε − ε') / w_m` crashed neurons are tolerated, and
+//! the bound is tight (an adversary crashing the max-weight neurons at an
+//! input where they output ≈ 1 realises it — see
+//! `neurofail-inject::adversary` for the constructive experiment).
+
+use crate::budget::EpsilonBudget;
+use crate::fep::crash_fep;
+use crate::profile::NetworkProfile;
+
+/// Maximum number of crashed neurons a single-layer network tolerates:
+/// `⌊(ε − ε') / w_m⌋` (Theorem 1). A zero `w_m` means crashed neurons are
+/// invisible at the output; `usize::MAX` encodes "all of them".
+pub fn crash_tolerance_single_layer(budget: EpsilonBudget, w_out: f64) -> usize {
+    assert!(w_out >= 0.0, "crash_tolerance: negative weight bound");
+    if w_out == 0.0 {
+        return usize::MAX;
+    }
+    let bound = budget.slack() / w_out;
+    // The theorem's condition is Nfail ≤ (ε−ε')/wm, inclusive.
+    bound.floor() as usize
+}
+
+/// Multilayer crash tolerance check: Theorem 3 specialised to crashes
+/// (`C ↦ sup ϕ`, Section IV-B) — `crash_fep(f) ≤ ε − ε'`.
+///
+/// # Panics
+/// If `faults` does not match the profile (see [`NetworkProfile`]).
+pub fn crash_tolerates(profile: &NetworkProfile, faults: &[usize], budget: EpsilonBudget) -> bool {
+    crash_fep(profile, faults) <= budget.slack()
+}
+
+/// Remaining crash budget: `(ε − ε') − crash_fep(f)`. Positive values mean
+/// the distribution is tolerated with room to spare; negative values
+/// quantify the violation.
+pub fn crash_margin(profile: &NetworkProfile, faults: &[usize], budget: EpsilonBudget) -> f64 {
+    budget.slack() - crash_fep(profile, faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(eps: f64, eps_prime: f64) -> EpsilonBudget {
+        EpsilonBudget::new(eps, eps_prime).unwrap()
+    }
+
+    #[test]
+    fn theorem1_closed_form() {
+        // (ε−ε')/wm = (0.1 − 0.02)/0.01 = 8.
+        assert_eq!(crash_tolerance_single_layer(budget(0.1, 0.02), 0.01), 8);
+        // Just below an integer boundary rounds down.
+        assert_eq!(crash_tolerance_single_layer(budget(0.1, 0.021), 0.01), 7);
+    }
+
+    #[test]
+    fn zero_slack_tolerates_nothing() {
+        assert_eq!(crash_tolerance_single_layer(budget(0.05, 0.05), 0.01), 0);
+    }
+
+    #[test]
+    fn zero_weight_tolerates_everything() {
+        assert_eq!(crash_tolerance_single_layer(budget(0.1, 0.05), 0.0), usize::MAX);
+    }
+
+    #[test]
+    fn theorem1_agrees_with_crash_fep_on_single_layer() {
+        // Theorem 1 is the L=1 specialisation of Theorem 3 with C = sup ϕ:
+        // f·wm ≤ ε−ε'  ⇔  crash_fep ≤ slack.
+        let p = NetworkProfile::uniform(1, 50, 0.01, 1.0, 1.0);
+        let b = budget(0.1, 0.02);
+        let max_f = crash_tolerance_single_layer(b, p.w_out);
+        assert!(crash_tolerates(&p, &[max_f], b));
+        assert!(!crash_tolerates(&p, &[max_f + 1], b));
+    }
+
+    #[test]
+    fn margin_sign_matches_tolerance() {
+        let p = NetworkProfile::uniform(2, 10, 0.05, 1.0, 1.0);
+        let b = budget(0.2, 0.1);
+        let ok = [1usize, 0];
+        let too_many = [10usize, 10];
+        assert!(crash_tolerates(&p, &ok, b));
+        assert!(crash_margin(&p, &ok, b) > 0.0);
+        assert!(!crash_tolerates(&p, &too_many, b));
+        assert!(crash_margin(&p, &too_many, b) < 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # neurofail-core
+//!
+//! The analytical engine of the `neurofail` workspace — a faithful
+//! implementation of every bound in El Mhamdi & Guerraoui, *When Neurons
+//! Fail* (IPPS 2017):
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Theorem 1 (single-layer crash bound) | [`crash`] |
+//! | Theorem 2 (Forward Error Propagation, `Fep`) | [`fep`] |
+//! | Theorem 3 (Byzantine neuron tolerance) | [`byzantine`] |
+//! | Lemma 1 (unbounded transmission ⇒ zero tolerance) | [`byzantine`] |
+//! | Lemma 2 + Theorem 4 (synapse failures; two bound forms) | [`synapse`] |
+//! | Theorem 5 (reduced precision / memory cost) | [`precision`] |
+//! | Corollary 1 (reduced over-provisioning, constructive) | [`overprovision`] |
+//! | Corollary 2 (boosting / quorum waits) | [`boosting`] |
+//! | Section VI (convolutional extension) | [`convolutional`] |
+//! | Section II-C (over-provisioning, Barron sizing) | [`overprovision`] |
+//!
+//! plus [`tolerance`] (inverse search: how many faults fit in `ε − ε'`) and
+//! [`certify`] (one-call robustness certificates).
+//!
+//! Everything here is a pure function of the network **topology** — the
+//! tuple `(L, N_l, w_m^(l), K, C)` captured by [`profile::NetworkProfile`] —
+//! never of its execution: that is the paper's point ("computing this
+//! quantity only requires looking at the topology of the network", vs. the
+//! "discouraging combinatorial explosion" of experimental assessment, which
+//! lives in `neurofail-inject` for exactly the comparison's sake).
+
+#![warn(missing_docs)]
+
+pub mod boosting;
+pub mod budget;
+pub mod byzantine;
+pub mod certify;
+pub mod convolutional;
+pub mod crash;
+pub mod fep;
+pub mod overprovision;
+pub mod precision;
+pub mod profile;
+pub mod synapse;
+pub mod tolerance;
+
+pub use budget::EpsilonBudget;
+pub use certify::{certify, Certificate};
+pub use fep::{crash_fep, fep, FepBreakdown};
+pub use profile::{Capacity, FaultClass, NetworkProfile};

@@ -1,0 +1,138 @@
+//! Over-provisioning: Section II-C and Corollary 1.
+//!
+//! The paper frames robustness as a *budget* bought by over-provisioning:
+//! training to ε' < ε leaves a slack `ε − ε'` that absorbs propagated
+//! failure error. Two quantitative handles:
+//!
+//! * Barron's bound (cited in II-C): `N_min(ε) = Θ(1/ε)` — approximating to
+//!   accuracy ε needs on the order of `1/ε` neurons, and `N` neurons buy an
+//!   error on the order of `1/N`.
+//! * Corollary 1 (constructive): for any fault target `(f_l)` and any
+//!   `ε' < ε`, a network exists that ε'-approximates the target *and*
+//!   tolerates `(f_l)` within ε. The construction here widens each layer by
+//!   a factor `m` while scaling weights by `1/m` (same represented function
+//!   to first order; every Fep term shrinks like `1/m`).
+
+use crate::budget::EpsilonBudget;
+use crate::fep::fep_for;
+use crate::profile::{FaultClass, NetworkProfile};
+
+/// Barron-style estimate of the minimal neuron count for accuracy `eps`:
+/// `ceil(c / eps)`. The constant `c` is target-dependent (it is the Barron
+/// norm of the target function); `c = 1` gives the paper's Θ(1/ε) shape.
+///
+/// # Panics
+/// If `eps <= 0` or `c <= 0`.
+pub fn nmin_estimate(eps: f64, c: f64) -> usize {
+    assert!(eps > 0.0 && c > 0.0, "nmin_estimate: need positive inputs");
+    (c / eps).ceil() as usize
+}
+
+/// The approximation error `Θ(1/N)` bought by `N` neurons (inverse view).
+///
+/// # Panics
+/// If `n == 0` or `c <= 0`.
+pub fn error_at_size(n: usize, c: f64) -> f64 {
+    assert!(n > 0 && c > 0.0, "error_at_size: need positive inputs");
+    c / n as f64
+}
+
+/// Corollary 1, constructively: the smallest widening factor `m ≤ max_m`
+/// such that [`NetworkProfile::widened`]`(m)` tolerates `faults` within the
+/// budget, or `None` if even `max_m` does not suffice.
+///
+/// Fep under widening decays like `1/m`, so a factor always exists —
+/// `max_m` only bounds the search.
+pub fn overprovision_factor(
+    profile: &NetworkProfile,
+    faults: &[usize],
+    budget: EpsilonBudget,
+    class: FaultClass,
+    max_m: usize,
+) -> Option<usize> {
+    let slack = budget.slack();
+    (1..=max_m).find(|&m| fep_for(&profile.widened(m), faults, class) <= slack)
+}
+
+/// The widened profile witnessing Corollary 1 (if a factor exists).
+pub fn corollary1_witness(
+    profile: &NetworkProfile,
+    faults: &[usize],
+    budget: EpsilonBudget,
+    class: FaultClass,
+    max_m: usize,
+) -> Option<NetworkProfile> {
+    overprovision_factor(profile, faults, budget, class, max_m).map(|m| profile.widened(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn budget(e: f64, ep: f64) -> EpsilonBudget {
+        EpsilonBudget::new(e, ep).unwrap()
+    }
+
+    #[test]
+    fn nmin_shapes() {
+        assert_eq!(nmin_estimate(0.1, 1.0), 10);
+        assert_eq!(nmin_estimate(0.01, 1.0), 100);
+        assert_eq!(nmin_estimate(0.01, 2.5), 250);
+        assert!((error_at_size(100, 1.0) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nmin_and_error_are_inverse() {
+        let eps = 0.02;
+        let n = nmin_estimate(eps, 1.0);
+        assert!(error_at_size(n, 1.0) <= eps);
+    }
+
+    #[test]
+    fn factor_one_when_already_tolerant() {
+        let p = NetworkProfile::uniform(1, 100, 0.001, 1.0, 1.0);
+        let m = overprovision_factor(&p, &[5], budget(0.5, 0.1), FaultClass::Byzantine, 100);
+        assert_eq!(m, Some(1));
+    }
+
+    #[test]
+    fn widening_buys_tolerance() {
+        // A profile too fragile for (3, 1) faults at m = 1...
+        let p = NetworkProfile::uniform(2, 10, 0.5, 1.0, 1.0);
+        let b = budget(0.2, 0.1);
+        assert!(!crate::byzantine::tolerates(&p, &[3, 1], b));
+        // ...gains it at some finite widening factor.
+        let m = overprovision_factor(&p, &[3, 1], b, FaultClass::Byzantine, 10_000).unwrap();
+        assert!(m > 1);
+        let wide = corollary1_witness(&p, &[3, 1], b, FaultClass::Byzantine, 10_000).unwrap();
+        assert!(crate::byzantine::tolerates(&wide, &[3, 1], b));
+    }
+
+    #[test]
+    fn insufficient_max_m_returns_none() {
+        let p = NetworkProfile::uniform(2, 10, 0.5, 1.0, 1.0);
+        let b = budget(0.2, 0.1);
+        assert_eq!(
+            overprovision_factor(&p, &[3, 1], b, FaultClass::Byzantine, 2),
+            None
+        );
+    }
+
+    proptest! {
+        /// Corollary 1 always terminates with a finite factor for positive
+        /// slack (1/m decay).
+        #[test]
+        fn factor_exists_for_positive_slack(
+            n in 2usize..10,
+            f in 1usize..10,
+            w in 0.1f64..1.0,
+        ) {
+            let f = f.min(n);
+            let p = NetworkProfile::uniform(2, n, w, 1.0, 1.0);
+            let b = budget(0.3, 0.1);
+            let m = overprovision_factor(&p, &[f, f], b, FaultClass::Byzantine, 1_000_000);
+            prop_assert!(m.is_some());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Synthetic 7×5 digit glyphs — the image-recognition stand-in.
+//!
+//! The paper motivates robustness with image-recognition deployments
+//! ([5], [18]); real image sets are not available offline, so this module
+//! provides classic seven-by-five dot-matrix digits with Bernoulli pixel
+//! noise. Inputs live in `[0,1]^35`, matching the paper's cube, and two
+//! labelling modes are offered:
+//!
+//! * [`DigitTask::IsDigit`] — "is this glyph the digit k?" (binary, in
+//!   `{0,1} ⊂ [0,1]`), the one-output classifier of the paper's model.
+//! * [`DigitTask::Value`] — digit value scaled to `[0,1]` (regression).
+
+use neurofail_tensor::Matrix;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::rng::DetRng;
+
+/// Glyph height in pixels.
+pub const ROWS: usize = 7;
+/// Glyph width in pixels.
+pub const COLS: usize = 5;
+/// Input dimension (`ROWS × COLS`).
+pub const DIM: usize = ROWS * COLS;
+
+/// 7×5 dot-matrix glyphs for digits 0–9 (row strings, `#` = on pixel).
+const GLYPHS: [[&str; ROWS]; 10] = [
+    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
+    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
+    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
+    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
+    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
+    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
+    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
+    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
+    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
+    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+];
+
+/// The clean (noise-free) glyph for `digit` as a `[0,1]^35` vector.
+///
+/// # Panics
+/// If `digit > 9`.
+pub fn glyph(digit: u8) -> Vec<f64> {
+    assert!(digit <= 9, "glyph: digit {digit} out of range");
+    GLYPHS[digit as usize]
+        .iter()
+        .flat_map(|row| row.chars().map(|c| if c == '#' { 1.0 } else { 0.0 }))
+        .collect()
+}
+
+/// A noisy glyph: each pixel is flipped towards the opposite value by a
+/// uniform amount with probability `noise`, then jittered by ±0.1.
+pub fn noisy_glyph(digit: u8, noise: f64, rng: &mut DetRng) -> Vec<f64> {
+    let mut g = glyph(digit);
+    for p in &mut g {
+        if rng.gen_bool(noise.clamp(0.0, 1.0)) {
+            *p = 1.0 - *p;
+        }
+        let jitter: f64 = rng.gen_range(-0.1..=0.1);
+        *p = (*p + jitter).clamp(0.0, 1.0);
+    }
+    g
+}
+
+/// Labelling mode for the digit workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigitTask {
+    /// Binary membership: target 1.0 iff the glyph is this digit.
+    IsDigit(
+        /// The digit recognised as the positive class.
+        u8,
+    ),
+    /// Regression: target = digit / 9.
+    Value,
+}
+
+impl DigitTask {
+    /// Target value for a glyph of `digit`.
+    pub fn target(&self, digit: u8) -> f64 {
+        match *self {
+            DigitTask::IsDigit(k) => {
+                if digit == k {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DigitTask::Value => digit as f64 / 9.0,
+        }
+    }
+}
+
+/// Sample a dataset of `n` noisy glyphs (digits drawn uniformly).
+pub fn dataset(task: DigitTask, n: usize, noise: f64, rng: &mut DetRng) -> Dataset {
+    let mut data = Vec::with_capacity(n * DIM);
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let digit = rng.gen_range(0..10u8);
+        data.extend_from_slice(&noisy_glyph(digit, noise, rng));
+        targets.push(task.target(digit));
+    }
+    Dataset::new(Matrix::from_vec(n, DIM, data), targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn glyphs_are_well_formed() {
+        for d in 0..10u8 {
+            let g = glyph(d);
+            assert_eq!(g.len(), DIM);
+            assert!(g.iter().all(|&p| p == 0.0 || p == 1.0));
+            // Every digit lights at least 7 pixels and not all of them.
+            let on = g.iter().filter(|&&p| p == 1.0).count();
+            assert!((7..DIM).contains(&on), "digit {d}: {on} pixels");
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..10u8 {
+            for b in (a + 1)..10 {
+                assert_ne!(glyph(a), glyph(b), "digits {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn glyph_rejects_non_digit() {
+        let _ = glyph(10);
+    }
+
+    #[test]
+    fn zero_noise_keeps_pixels_near_clean() {
+        let g = noisy_glyph(3, 0.0, &mut rng(1));
+        let clean = glyph(3);
+        for (n, c) in g.iter().zip(&clean) {
+            assert!((n - c).abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dataset_targets_match_task() {
+        let ds = dataset(DigitTask::Value, 64, 0.05, &mut rng(2));
+        assert_eq!(ds.len(), 64);
+        assert_eq!(ds.dim(), DIM);
+        for (_, y) in ds.iter() {
+            // Targets are k/9 for integer k.
+            let k = (y * 9.0).round();
+            assert!((y * 9.0 - k).abs() < 1e-12);
+        }
+        let ds = dataset(DigitTask::IsDigit(7), 64, 0.05, &mut rng(3));
+        assert!(ds.iter().all(|(_, y)| y == 0.0 || y == 1.0));
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = dataset(DigitTask::Value, 16, 0.1, &mut rng(4));
+        let b = dataset(DigitTask::Value, 16, 0.1, &mut rng(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Input-space exploration: grids, uniform sampling, Halton sequences.
+//!
+//! The paper's Definition 1 quantifies over *all* `X ∈ [0,1]^d`; measuring
+//! `sup_X ‖F(X) − F_fail(X)‖` exactly is impossible, and the paper calls the
+//! exhaustive alternative a "discouraging combinatorial explosion". These
+//! generators provide the standard compromise: dense deterministic coverage
+//! (regular grid for small `d`, Halton low-discrepancy sequence for larger
+//! `d`) plus uniform Monte-Carlo points.
+
+use rand::Rng;
+
+use crate::rng::DetRng;
+
+/// A regular lattice with `points_per_axis` points per axis over `[0,1]^d`
+/// (endpoints included). Total size `points_per_axis^d`.
+///
+/// Returns an iterator to avoid materialising huge grids.
+///
+/// # Panics
+/// If `points_per_axis == 0`, or the total size would overflow `usize`.
+pub fn regular_grid(d: usize, points_per_axis: usize) -> impl Iterator<Item = Vec<f64>> {
+    assert!(points_per_axis > 0, "regular_grid: need at least one point per axis");
+    let total = points_per_axis
+        .checked_pow(d as u32)
+        .expect("regular_grid: grid size overflows usize");
+    let step = if points_per_axis == 1 {
+        0.0
+    } else {
+        1.0 / (points_per_axis - 1) as f64
+    };
+    (0..total).map(move |mut idx| {
+        (0..d)
+            .map(|_| {
+                let k = idx % points_per_axis;
+                idx /= points_per_axis;
+                if points_per_axis == 1 { 0.5 } else { k as f64 * step }
+            })
+            .collect()
+    })
+}
+
+/// `n` uniform random points in `[0,1]^d`.
+pub fn uniform_points(d: usize, n: usize, rng: &mut DetRng) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..=1.0)).collect())
+        .collect()
+}
+
+/// First `n` points of the `d`-dimensional Halton sequence (bases = first
+/// `d` primes), skipping the degenerate index 0.
+///
+/// Low-discrepancy points cover the cube far more evenly than uniform
+/// sampling at equal budget — the sup-norm estimate converges like
+/// `O(log^d n / n)` instead of `O(n^{-1/2})`.
+pub fn halton_points(d: usize, n: usize) -> Vec<Vec<f64>> {
+    let bases = first_primes(d);
+    (1..=n)
+        .map(|i| bases.iter().map(|&b| radical_inverse(i, b)).collect())
+        .collect()
+}
+
+/// Van der Corput radical inverse of `i` in base `b`.
+fn radical_inverse(mut i: usize, b: usize) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    let bf = b as f64;
+    while i > 0 {
+        f /= bf;
+        r += f * (i % b) as f64;
+        i /= b;
+    }
+    r
+}
+
+/// The first `n` prime numbers.
+fn first_primes(n: usize) -> Vec<usize> {
+    let mut primes = Vec::with_capacity(n);
+    let mut cand = 2usize;
+    while primes.len() < n {
+        if primes.iter().all(|&p| cand % p != 0) {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng;
+
+    #[test]
+    fn regular_grid_size_and_bounds() {
+        let pts: Vec<_> = regular_grid(2, 5).collect();
+        assert_eq!(pts.len(), 25);
+        assert!(pts.iter().all(|p| p.len() == 2));
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&x| (0.0..=1.0).contains(&x))));
+        // Endpoints present.
+        assert!(pts.contains(&vec![0.0, 0.0]));
+        assert!(pts.contains(&vec![1.0, 1.0]));
+    }
+
+    #[test]
+    fn regular_grid_single_point_is_center() {
+        let pts: Vec<_> = regular_grid(3, 1).collect();
+        assert_eq!(pts, vec![vec![0.5, 0.5, 0.5]]);
+    }
+
+    #[test]
+    fn regular_grid_covers_each_axis_value() {
+        let pts: Vec<_> = regular_grid(1, 3).collect();
+        assert_eq!(pts, vec![vec![0.0], vec![0.5], vec![1.0]]);
+    }
+
+    #[test]
+    fn uniform_points_in_cube_and_deterministic() {
+        let a = uniform_points(4, 50, &mut rng(3));
+        let b = uniform_points(4, 50, &mut rng(3));
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn halton_is_low_discrepancy_in_1d() {
+        // The first 2^k − 1 points of base-2 Halton hit every dyadic interval.
+        let pts = halton_points(1, 7);
+        let mut xs: Vec<f64> = pts.into_iter().map(|p| p[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875];
+        for (x, e) in xs.iter().zip(expect) {
+            assert!((x - e).abs() < 1e-12, "{x} vs {e}");
+        }
+    }
+
+    #[test]
+    fn halton_dimensions_use_distinct_bases() {
+        let pts = halton_points(3, 10);
+        assert!(pts.iter().all(|p| p.len() == 3));
+        // base 2 vs base 3 first points differ
+        assert!((pts[0][0] - 0.5).abs() < 1e-12);
+        assert!((pts[0][1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pts[0][2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_primes_known() {
+        assert_eq!(first_primes(5), vec![2, 3, 5, 7, 11]);
+    }
+}

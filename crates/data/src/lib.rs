@@ -1,0 +1,36 @@
+//! # neurofail-data
+//!
+//! Synthetic workloads for the `neurofail` workspace.
+//!
+//! The paper's setting is the universal-approximation model: continuous
+//! target functions `F : [0,1]^d → [0,1]` approximated by feed-forward
+//! networks (Definition 1). Its motivating applications are critical systems
+//! — flight control, radar, electric vehicles — whose datasets are
+//! proprietary. This crate supplies the stand-ins (documented as
+//! substitutions in `DESIGN.md`):
+//!
+//! * [`functions`] — a library of smooth closed-form targets on `[0,1]^d`
+//!   (Barron-class ridges, Gaussian bumps, smooth XOR, …) so experiments can
+//!   compare measured errors against a *known* ground truth `F`.
+//! * [`control`] — a synthetic pitch-axis control surface (the "flight
+//!   control" stand-in).
+//! * [`digits`] — 7×5 synthetic digit glyphs with pixel noise (the
+//!   image-recognition stand-in).
+//! * [`dataset`] — sampled datasets with deterministic train/test splits.
+//! * [`grid`] — regular grids, uniform sampling and Halton low-discrepancy
+//!   sequences over `[0,1]^d`, used to approximate the sup-norm in
+//!   `‖F − F_neu‖ ≤ ε` without exhaustive input enumeration.
+//! * [`rng`] — one deterministic RNG constructor (ChaCha8) used everywhere,
+//!   so every experiment in EXPERIMENTS.md reproduces bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod dataset;
+pub mod digits;
+pub mod functions;
+pub mod grid;
+pub mod rng;
+
+pub use dataset::Dataset;
+pub use functions::TargetFn;

@@ -1,0 +1,227 @@
+//! The worst-case adversary — the paper's tightness constructions, made
+//! executable.
+//!
+//! Theorem 1's tightness proof kills "key neurons: those with highest
+//! weights" at an input "where those same neurons were instrumental:
+//! broadcasting the highest possible value y, as close to 1 as possible",
+//! with the equality case requiring the killed weights to be *positively
+//! proportional* (same sign). This module implements exactly that
+//! playbook:
+//!
+//! * [`worst_crash_plan`] — pick the `k` same-sign largest-|w| neurons of a
+//!   layer (ranked by their synaptic weight towards the output side);
+//! * [`adversarial_input`] — search the input cube for the disturbance
+//!   maximiser;
+//! * [`saturating_single_layer`] — the constructive tightness witness: a
+//!   network whose neurons can all be driven to `y ≈ 1`, on which the
+//!   measured error provably approaches `f · w_m`.
+
+use neurofail_data::rng::DetRng;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::layer::DenseLayer;
+use neurofail_nn::network::{Layer, Mlp, Workspace};
+use neurofail_tensor::Matrix;
+
+use crate::executor::CompiledPlan;
+use crate::input_search::{maximize, SearchConfig};
+use crate::plan::InjectionPlan;
+
+/// Rank layer `layer`'s neurons by the magnitude of their strongest
+/// same-sign synapse towards the next stage (output weights for the last
+/// layer), descending. `positive` selects the sign group, implementing the
+/// "positively proportional" equality condition.
+pub fn rank_by_outgoing_weight(net: &Mlp, layer: usize, positive: bool) -> Vec<usize> {
+    let widths = net.widths();
+    assert!(layer < widths.len(), "layer {layer} out of range");
+    let n = widths[layer];
+    let score = |i: usize| -> f64 {
+        if layer + 1 == widths.len() {
+            let w = net.output_weights()[i];
+            if positive == (w >= 0.0) {
+                w.abs()
+            } else {
+                0.0
+            }
+        } else {
+            // Strongest same-sign synapse into the next layer.
+            let next = &net.layers()[layer + 1];
+            (0..next.out_dim())
+                .map(|j| {
+                    let w = next.weight(j, i);
+                    if positive == (w >= 0.0) {
+                        w.abs()
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0, f64::max)
+        }
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| score(b).partial_cmp(&score(a)).unwrap());
+    idx
+}
+
+/// The paper's worst-case crash plan: the `k` highest same-sign-weight
+/// neurons of `layer`. Tries both sign groups and returns the plan whose
+/// summed outgoing weight magnitude is larger.
+pub fn worst_crash_plan(net: &Mlp, layer: usize, k: usize) -> InjectionPlan {
+    let widths = net.widths();
+    assert!(k <= widths[layer], "cannot crash {k} of {} neurons", widths[layer]);
+    let weight_of = |i: usize| -> f64 {
+        if layer + 1 == widths.len() {
+            net.output_weights()[i]
+        } else {
+            let next = &net.layers()[layer + 1];
+            (0..next.out_dim())
+                .map(|j| next.weight(j, i))
+                .fold(0.0f64, |m, w| if w.abs() > m.abs() { w } else { m })
+        }
+    };
+    let pick = |positive: bool| -> (f64, Vec<usize>) {
+        let ranked = rank_by_outgoing_weight(net, layer, positive);
+        let chosen: Vec<usize> = ranked.into_iter().take(k).collect();
+        let mass: f64 = chosen
+            .iter()
+            .map(|&i| {
+                let w = weight_of(i);
+                if positive == (w >= 0.0) {
+                    w.abs()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        (mass, chosen)
+    };
+    let (mp, sp) = pick(true);
+    let (mn, sn) = pick(false);
+    let sites = if mp >= mn { sp } else { sn };
+    InjectionPlan::crash(sites.into_iter().map(|n| (layer, n)))
+}
+
+/// Search the input cube for the disturbance maximiser of a compiled plan:
+/// `argmax_X |F_neu(X) − F_fail(X)|`. Returns `(worst error, input)`.
+pub fn adversarial_input(
+    net: &Mlp,
+    plan: &CompiledPlan,
+    cfg: &SearchConfig,
+    rng: &mut DetRng,
+) -> (f64, Vec<f64>) {
+    // One workspace reused across objective evaluations via RefCell-free
+    // interior: coordinate ascent is sequential, so a fresh workspace per
+    // closure call would also work — we trade one allocation per call for
+    // simplicity here because `maximize` owns the call pattern.
+    let d = net.input_dim();
+    maximize(
+        d,
+        |x| {
+            let mut ws = Workspace::for_net(net);
+            plan.output_error(net, x, &mut ws)
+        },
+        cfg,
+        rng,
+    )
+}
+
+/// The tightness witness of Theorem 1: a single layer of `n` sigmoid
+/// neurons with equal positive output weights `w_out` and a steep input
+/// gain, so that the all-ones input drives every neuron's output to
+/// `y ≈ 1`. Crashing any `f` neurons at that input loses `≈ f · w_out` —
+/// the bound `N_fail · w_m` with equality in the limit of saturation.
+pub fn saturating_single_layer(d: usize, n: usize, w_out: f64, gain: f64) -> Mlp {
+    // First layer: every neuron sums all inputs with weight `gain`.
+    let weights = Matrix::from_fn(n, d, |_, _| gain);
+    Mlp::new(
+        vec![Layer::Dense(DenseLayer::new(
+            weights,
+            vec![],
+            Activation::Sigmoid { k: 1.0 },
+        ))],
+        vec![w_out; n],
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_core::{crash_fep, Capacity, NetworkProfile};
+    use neurofail_data::rng::rng;
+
+    #[test]
+    fn ranking_orders_by_weight_magnitude() {
+        let net = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::identity(4),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![0.3, -0.9, 0.7, 0.1],
+            0.0,
+        );
+        assert_eq!(rank_by_outgoing_weight(&net, 0, true)[..2], [2, 0]);
+        assert_eq!(rank_by_outgoing_weight(&net, 0, false)[0], 1);
+        // Worst pair: positive mass 0.3+0.7 = 1.0 > negative mass 0.9.
+        let plan = worst_crash_plan(&net, 0, 2);
+        let mut neurons: Vec<usize> = plan.neurons.iter().map(|s| s.neuron).collect();
+        neurons.sort_unstable();
+        assert_eq!(neurons, vec![0, 2]);
+    }
+
+    #[test]
+    fn tightness_witness_approaches_theorem1_bound() {
+        // n = 16 neurons, w_out = 0.05, steep gain: crash the worst f = 4.
+        let net = saturating_single_layer(2, 16, 0.05, 50.0);
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let f = 4;
+        let bound = crash_fep(&profile, &[f]); // = f · w_out · sup ϕ
+        assert!((bound - 0.2).abs() < 1e-12);
+        let plan = worst_crash_plan(&net, 0, f);
+        let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let (worst, x) = adversarial_input(
+            &net,
+            &compiled,
+            &SearchConfig::default(),
+            &mut rng(80),
+        );
+        // Saturated sigmoids: measured ≥ 99% of the tight bound, never above.
+        assert!(worst <= bound + 1e-12, "measured {worst} above bound {bound}");
+        assert!(
+            worst > 0.99 * bound,
+            "tightness not approached: {worst} vs {bound}"
+        );
+        // At the found input every neuron is saturated (y ≈ 1) — the
+        // paper's "broadcasting the highest possible value" equality case.
+        // (With gain 50 the centre input already saturates, so the search
+        // need not move towards the corner.)
+        let mut ws = Workspace::for_net(&net);
+        let _ = net.forward_ws(&x, &mut ws);
+        assert!(ws.outs[0].iter().all(|&y| y > 0.999), "outputs {:?}", ws.outs[0]);
+    }
+
+    #[test]
+    fn adversarial_beats_random_choice() {
+        // On an uneven-weight network the adversarial subset must disturb
+        // at least as much as the first-k subset.
+        let net = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::identity(6),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![0.01, 0.02, 0.9, 0.8, 0.03, 0.04],
+            0.0,
+        );
+        let adv = worst_crash_plan(&net, 0, 2);
+        let naive = InjectionPlan::crash([(0, 0), (0, 1)]);
+        let ca = CompiledPlan::compile(&adv, &net, 10.0).unwrap();
+        let cn = CompiledPlan::compile(&naive, &net, 10.0).unwrap();
+        let mut rng_a = rng(81);
+        let (ea, _) = adversarial_input(&net, &ca, &SearchConfig::default(), &mut rng_a);
+        let mut rng_n = rng(81);
+        let (en, _) = adversarial_input(&net, &cn, &SearchConfig::default(), &mut rng_n);
+        assert!(ea >= en);
+        assert!((ea - 1.7).abs() < 1e-6, "0.9 + 0.8 at saturating input");
+    }
+}

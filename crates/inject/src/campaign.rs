@@ -1,0 +1,285 @@
+//! Monte-Carlo fault-injection campaigns.
+//!
+//! A campaign measures the distribution of the output disturbance
+//! `|F_neu(X) − F_fail(X)|` over many random `(plan, input)` pairs — the
+//! tractable replacement for "looking at all the possible inputs and testing
+//! all the possible configurations" that the paper rules out as
+//! combinatorially explosive. Trials are independent, so the campaign runs
+//! embarrassingly parallel under `neurofail-par`, with per-trial seeds
+//! derived from the campaign seed (results are identical for any thread
+//! count).
+
+use neurofail_data::rng::rng as det_rng;
+use neurofail_nn::{Mlp, Workspace};
+use neurofail_par::{parallel_map, Parallelism, SeedSequence};
+use neurofail_tensor::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+use crate::executor::CompiledPlan;
+use crate::plan::InjectionPlan;
+use crate::sampler::{sample_neuron_plan, sample_synapse_plan, FaultSpec};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of independent fault plans to draw.
+    pub trials: usize,
+    /// Number of random inputs evaluated per plan.
+    pub inputs_per_trial: usize,
+    /// Campaign seed (everything derives from it).
+    pub seed: u64,
+    /// Synaptic capacity C under which plans execute.
+    pub capacity: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 200,
+            inputs_per_trial: 32,
+            seed: 0xFA117,
+            capacity: 1.0,
+        }
+    }
+}
+
+/// Worst single observation of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorstCase {
+    /// The disturbance `|F_neu − F_fail|`.
+    pub error: f64,
+    /// The input achieving it.
+    pub input: Vec<f64>,
+    /// The plan achieving it.
+    pub plan: InjectionPlan,
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Moments and extrema of the observed disturbances.
+    pub stats: neurofail_tensor::Summary,
+    /// The worst observation (None for zero-trial campaigns).
+    pub worst: Option<WorstCase>,
+    /// Total `(plan, input)` evaluations.
+    pub evaluations: u64,
+}
+
+impl CampaignResult {
+    /// Largest observed disturbance (0 for empty campaigns).
+    pub fn max_error(&self) -> f64 {
+        self.worst.as_ref().map(|w| w.error).unwrap_or(0.0)
+    }
+}
+
+/// What the campaign injects each trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrialKind {
+    /// Neuron faults with per-layer counts and a fault spec.
+    Neurons(FaultSpec),
+    /// Synapse faults (`byzantine = false` → crashes).
+    Synapses {
+        /// Byzantine (bounded arbitrary) vs crash semantics.
+        byzantine: bool,
+    },
+}
+
+/// Run a campaign: `cfg.trials` random plans with the given per-layer
+/// `counts`, each evaluated on `cfg.inputs_per_trial` uniform inputs.
+///
+/// `counts` has `L` entries for [`TrialKind::Neurons`] and `L + 1` for
+/// [`TrialKind::Synapses`].
+///
+/// # Panics
+/// On count/shape mismatches (see the samplers).
+pub fn run_campaign(
+    net: &Mlp,
+    counts: &[usize],
+    kind: TrialKind,
+    cfg: &CampaignConfig,
+    policy: Parallelism,
+) -> CampaignResult {
+    let seeds = SeedSequence::new(cfg.seed);
+    let per_trial: Vec<(OnlineStats, Option<WorstCase>)> =
+        parallel_map(policy, cfg.trials, |t| {
+            let mut rng = det_rng(seeds.seed_for(t as u64));
+            let plan = match kind {
+                TrialKind::Neurons(spec) => sample_neuron_plan(net, counts, spec, &mut rng),
+                TrialKind::Synapses { byzantine } => {
+                    sample_synapse_plan(net, counts, byzantine, cfg.capacity, &mut rng)
+                }
+            };
+            let compiled = CompiledPlan::compile(&plan, net, cfg.capacity)
+                .expect("sampler produced an invalid plan");
+            let mut ws = Workspace::for_net(net);
+            let mut stats = OnlineStats::new();
+            let mut worst: Option<WorstCase> = None;
+            let d = net.input_dim();
+            let mut x = vec![0.0; d];
+            for _ in 0..cfg.inputs_per_trial {
+                for xi in &mut x {
+                    *xi = rand::Rng::gen_range(&mut rng, 0.0..=1.0);
+                }
+                let err = compiled.output_error(net, &x, &mut ws);
+                stats.push(err);
+                if worst.as_ref().map(|w| err > w.error).unwrap_or(true) {
+                    worst = Some(WorstCase {
+                        error: err,
+                        input: x.clone(),
+                        plan: plan.clone(),
+                    });
+                }
+            }
+            (stats, worst)
+        });
+
+    let mut stats = OnlineStats::new();
+    let mut worst: Option<WorstCase> = None;
+    for (s, w) in per_trial {
+        stats.merge(&s);
+        if let Some(w) = w {
+            if worst.as_ref().map(|b| w.error > b.error).unwrap_or(true) {
+                worst = Some(w);
+            }
+        }
+    }
+    CampaignResult {
+        stats: stats.summary(),
+        worst,
+        evaluations: stats.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_core::{crash_fep, Capacity, NetworkProfile};
+    use neurofail_data::rng::rng;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::builder::MlpBuilder;
+    use neurofail_tensor::init::Init;
+
+    fn net() -> Mlp {
+        MlpBuilder::new(2)
+            .dense(8, Activation::Sigmoid { k: 1.0 })
+            .dense(5, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Uniform { a: 0.4 })
+            .bias(false)
+            .build(&mut rng(60))
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let net = net();
+        let cfg = CampaignConfig {
+            trials: 24,
+            inputs_per_trial: 8,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(
+            &net,
+            &[2, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        );
+        let b = run_campaign(
+            &net,
+            &[2, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Threads(4),
+        );
+        assert_eq!(a.max_error(), b.max_error());
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.stats.mean, b.stats.mean);
+    }
+
+    #[test]
+    fn observed_errors_respect_crash_fep_bound() {
+        // The soundness property at campaign scale: every observation is
+        // below the analytic Fep bound for the injected distribution.
+        let net = net();
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let counts = [2usize, 1];
+        let bound = crash_fep(&profile, &counts);
+        let cfg = CampaignConfig {
+            trials: 50,
+            inputs_per_trial: 16,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(
+            &net,
+            &counts,
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        );
+        assert!(res.evaluations == 800);
+        assert!(
+            res.max_error() <= bound,
+            "measured {} exceeds bound {bound}",
+            res.max_error()
+        );
+        assert!(res.max_error() > 0.0, "faults should disturb the output");
+    }
+
+    #[test]
+    fn byzantine_campaign_respects_strict_fep_bound() {
+        // NOTE: the *strict* magnitude C + sup ϕ, not the paper's C — a
+        // Byzantine value v with |v| ≤ C deviates from the nominal y by up
+        // to C + sup ϕ (reproduction finding #2, DESIGN.md §2).
+        let net = net();
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(2.0)).unwrap();
+        let counts = [1usize, 1];
+        let bound = neurofail_core::fep::fep_for(
+            &profile,
+            &counts,
+            neurofail_core::FaultClass::ByzantineStrict,
+        );
+        let cfg = CampaignConfig {
+            trials: 40,
+            inputs_per_trial: 8,
+            capacity: 2.0,
+            ..CampaignConfig::default()
+        };
+        for spec in [
+            FaultSpec::ByzantineMaxPositive,
+            FaultSpec::ByzantineMaxNegative,
+            FaultSpec::ByzantineRandom,
+            FaultSpec::ByzantineOpposeNominal,
+        ] {
+            let res = run_campaign(
+                &net,
+                &counts,
+                TrialKind::Neurons(spec),
+                &cfg,
+                Parallelism::Sequential,
+            );
+            assert!(
+                res.max_error() <= bound,
+                "{spec:?}: measured {} exceeds bound {bound}",
+                res.max_error()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fault_campaign_measures_zero() {
+        let net = net();
+        let cfg = CampaignConfig {
+            trials: 5,
+            inputs_per_trial: 4,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(
+            &net,
+            &[0, 0],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        );
+        assert_eq!(res.max_error(), 0.0);
+        assert_eq!(res.stats.mean, 0.0);
+    }
+}

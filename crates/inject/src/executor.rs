@@ -1,0 +1,440 @@
+//! Executing a network under an injection plan.
+//!
+//! The executor compiles a plan against a concrete network (validating every
+//! site), then interposes on the forward pass through `neurofail-nn`'s
+//! [`Tap`] hooks:
+//!
+//! * neuron faults overwrite entries of the **post-activation** outputs —
+//!   exactly Definition 2 (other neurons "consider `y = 0`" for a crash;
+//!   Byzantine values are clamped to ±C by the synapse, Assumption 1);
+//! * hidden-synapse faults adjust the receiving **pre-activation** sums
+//!   (a crashed synapse removes its `w·y` contribution; a Byzantine synapse
+//!   adds the Lemma-2 deviation `λ`, clamped to ±C);
+//! * output-synapse faults adjust the output node's sum the same way.
+//!
+//! The measured quantity downstream is `|F_neu(X) − F_fail(X)|` — the
+//! left-hand side of Theorem 2's inequality.
+
+use neurofail_nn::{Mlp, Tap, Workspace};
+use neurofail_par::seed::splitmix64;
+
+use crate::plan::{
+    ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault, SynapseTarget,
+};
+
+/// Plan/network mismatch reported at compile time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Neuron site outside the network.
+    BadNeuron {
+        /// 0-based layer index of the offending site.
+        layer: usize,
+        /// Neuron index of the offending site.
+        neuron: usize,
+    },
+    /// Synapse site outside the network.
+    BadSynapse(
+        /// Human-readable description of the offending site.
+        String,
+    ),
+    /// The same neuron appears in two sites.
+    DuplicateNeuron {
+        /// 0-based layer index.
+        layer: usize,
+        /// Neuron index.
+        neuron: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadNeuron { layer, neuron } => {
+                write!(f, "no neuron {neuron} in layer {layer}")
+            }
+            PlanError::BadSynapse(s) => write!(f, "invalid synapse site: {s}"),
+            PlanError::DuplicateNeuron { layer, neuron } => {
+                write!(f, "duplicate fault on neuron {neuron} of layer {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A synapse fault with its nominal weight resolved against the network, so
+/// crashes can remove exactly the contribution `w_ji · y_i` at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ResolvedSynapseFault {
+    /// Remove `weight · input[from]` from the receiving sum.
+    Crash {
+        /// The nominal synaptic weight captured at compile time.
+        weight: f64,
+    },
+    /// Add the (capacity-clamped) deviation to the receiving sum.
+    Byzantine(f64),
+}
+
+/// A plan validated and indexed against a network, ready for repeated
+/// execution (compile once, run over many inputs).
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Per layer: `(neuron, fault)` sites, sorted by neuron.
+    neuron_sites: Vec<Vec<(usize, NeuronFault)>>,
+    /// Per layer: hidden synapse sites `(to, from, fault)`.
+    synapse_sites: Vec<Vec<(usize, usize, ResolvedSynapseFault)>>,
+    /// Output-node synapse sites `(from, fault)`.
+    output_sites: Vec<(usize, ResolvedSynapseFault)>,
+    /// Synaptic capacity C (clamps all adversarial values).
+    capacity: f64,
+}
+
+impl CompiledPlan {
+    /// Validate `plan` against `net` under capacity `c`.
+    ///
+    /// # Errors
+    /// [`PlanError`] on any out-of-range or duplicate site.
+    pub fn compile(plan: &InjectionPlan, net: &Mlp, capacity: f64) -> Result<Self, PlanError> {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let widths = net.widths();
+        let depth = widths.len();
+        let mut neuron_sites = vec![Vec::new(); depth];
+        for s in &plan.neurons {
+            if s.layer >= depth || s.neuron >= widths[s.layer] {
+                return Err(PlanError::BadNeuron {
+                    layer: s.layer,
+                    neuron: s.neuron,
+                });
+            }
+            if neuron_sites[s.layer]
+                .iter()
+                .any(|&(n, _)| n == s.neuron)
+            {
+                return Err(PlanError::DuplicateNeuron {
+                    layer: s.layer,
+                    neuron: s.neuron,
+                });
+            }
+            neuron_sites[s.layer].push((s.neuron, s.fault));
+        }
+        for sites in &mut neuron_sites {
+            sites.sort_by_key(|&(n, _)| n);
+        }
+
+        let mut synapse_sites = vec![Vec::new(); depth];
+        let mut output_sites = Vec::new();
+        for s in &plan.synapses {
+            match s.target {
+                SynapseTarget::Hidden { layer, to, from } => {
+                    let fan_in = if layer == 0 {
+                        net.input_dim()
+                    } else if layer < depth {
+                        widths[layer - 1]
+                    } else {
+                        return Err(PlanError::BadSynapse(format!("layer {layer} out of range")));
+                    };
+                    if to >= widths[layer] || from >= fan_in {
+                        return Err(PlanError::BadSynapse(format!(
+                            "synapse {from}->{to} at layer {layer}"
+                        )));
+                    }
+                    let resolved = match s.fault {
+                        SynapseFault::Crash => ResolvedSynapseFault::Crash {
+                            weight: net.layers()[layer].weight(to, from),
+                        },
+                        SynapseFault::Byzantine(d) => ResolvedSynapseFault::Byzantine(d),
+                    };
+                    synapse_sites[layer].push((to, from, resolved));
+                }
+                SynapseTarget::Output { from } => {
+                    if from >= widths[depth - 1] {
+                        return Err(PlanError::BadSynapse(format!("output synapse from {from}")));
+                    }
+                    let resolved = match s.fault {
+                        SynapseFault::Crash => ResolvedSynapseFault::Crash {
+                            weight: net.output_weights()[from],
+                        },
+                        SynapseFault::Byzantine(d) => ResolvedSynapseFault::Byzantine(d),
+                    };
+                    output_sites.push((from, resolved));
+                }
+            }
+        }
+        Ok(CompiledPlan {
+            neuron_sites,
+            synapse_sites,
+            output_sites,
+            capacity,
+        })
+    }
+
+    /// The capacity this plan was compiled under.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Run the faulty forward pass, returning `F_fail(x)`.
+    pub fn run(&self, net: &Mlp, x: &[f64], ws: &mut Workspace) -> f64 {
+        let mut tap = InjectorTap { plan: self };
+        net.forward_tapped(x, ws, &mut tap)
+    }
+
+    /// Convenience: `|F_neu(x) − F_fail(x)|` with an internal workspace.
+    pub fn output_error(&self, net: &Mlp, x: &[f64], ws: &mut Workspace) -> f64 {
+        let nominal = net.forward_ws(x, ws);
+        let faulty = self.run(net, x, ws);
+        (nominal - faulty).abs()
+    }
+}
+
+/// The Tap adapter applying a compiled plan during a forward pass.
+struct InjectorTap<'a> {
+    plan: &'a CompiledPlan,
+}
+
+impl InjectorTap<'_> {
+    fn clamp(&self, v: f64) -> f64 {
+        v.clamp(-self.plan.capacity, self.plan.capacity)
+    }
+
+    /// Deterministic "arbitrary" value for a Random-strategy site.
+    fn site_value(&self, seed: u64, layer: usize, neuron: usize) -> f64 {
+        let h = splitmix64(seed ^ splitmix64((layer as u64) << 32 | neuron as u64));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        self.plan.capacity * (2.0 * unit - 1.0)
+    }
+}
+
+impl Tap for InjectorTap<'_> {
+    fn pre_activation(&mut self, layer: usize, input: &[f64], sums: &mut [f64]) {
+        for &(to, from, fault) in &self.plan.synapse_sites[layer] {
+            match fault {
+                ResolvedSynapseFault::Crash { weight } => {
+                    // Remove the nominal contribution w_ji · y_i (the input
+                    // already reflects any left-layer faults, matching the
+                    // synchronous message-passing semantics).
+                    sums[to] -= weight * input[from];
+                }
+                ResolvedSynapseFault::Byzantine(delta) => {
+                    sums[to] += self.clamp(delta);
+                }
+            }
+        }
+    }
+
+    fn post_activation(&mut self, layer: usize, outputs: &mut [f64]) {
+        for &(neuron, fault) in &self.plan.neuron_sites[layer] {
+            let nominal = outputs[neuron];
+            outputs[neuron] = match fault {
+                NeuronFault::Crash => 0.0,
+                NeuronFault::StuckAt(v) => self.clamp(v),
+                NeuronFault::Byzantine(strategy) => match strategy {
+                    ByzantineStrategy::MaxPositive => self.plan.capacity,
+                    ByzantineStrategy::MaxNegative => -self.plan.capacity,
+                    ByzantineStrategy::OpposeNominal => {
+                        -self.plan.capacity * nominal.signum()
+                    }
+                    ByzantineStrategy::Random { seed } => self.site_value(seed, layer, neuron),
+                },
+            };
+        }
+    }
+
+    fn output_sum(&mut self, last_out: &[f64], sum: &mut f64) {
+        for &(from, fault) in &self.plan.output_sites {
+            match fault {
+                ResolvedSynapseFault::Crash { weight } => {
+                    *sum -= weight * last_out[from];
+                }
+                ResolvedSynapseFault::Byzantine(delta) => {
+                    *sum += self.clamp(delta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{NeuronSite, SynapseSite};
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::layer::DenseLayer;
+    use neurofail_nn::network::Layer;
+    use neurofail_tensor::Matrix;
+
+    fn linear_net() -> Mlp {
+        // 2 inputs -> 2 identity neurons -> output with weights [1, 2].
+        Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![1.0, 2.0],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn crash_neuron_zeroes_its_contribution() {
+        let net = linear_net();
+        let plan = InjectionPlan::crash([(0, 1)]);
+        let c = CompiledPlan::compile(&plan, &net, 10.0).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        // Nominal: x0 + 2 x1 = 0.5 + 2·0.25 = 1.0; crashed neuron 1: 0.5.
+        assert_eq!(net.forward(&[0.5, 0.25]), 1.0);
+        assert_eq!(c.run(&net, &[0.5, 0.25], &mut ws), 0.5);
+        assert_eq!(c.output_error(&net, &[0.5, 0.25], &mut ws), 0.5);
+    }
+
+    #[test]
+    fn byzantine_values_are_clamped_to_capacity() {
+        let net = linear_net();
+        for (strategy, expected) in [
+            (ByzantineStrategy::MaxPositive, 2.0),
+            (ByzantineStrategy::MaxNegative, -2.0),
+        ] {
+            let plan = InjectionPlan::byzantine([(0, 0)], strategy);
+            let c = CompiledPlan::compile(&plan, &net, 2.0).unwrap();
+            let mut ws = Workspace::for_net(&net);
+            // Output = v·1 + 2·x1, with x = [0, 0]: output = v.
+            assert_eq!(c.run(&net, &[0.0, 0.0], &mut ws), expected);
+        }
+    }
+
+    #[test]
+    fn stuck_at_clamps() {
+        let net = linear_net();
+        let plan = InjectionPlan {
+            neurons: vec![NeuronSite {
+                layer: 0,
+                neuron: 0,
+                fault: NeuronFault::StuckAt(100.0),
+            }],
+            synapses: vec![],
+        };
+        let c = CompiledPlan::compile(&plan, &net, 1.5).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        assert_eq!(c.run(&net, &[0.0, 0.0], &mut ws), 1.5);
+    }
+
+    #[test]
+    fn oppose_nominal_flips_sign() {
+        let net = linear_net();
+        let plan = InjectionPlan::byzantine([(0, 0)], ByzantineStrategy::OpposeNominal);
+        let c = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        // Nominal y0 = 0.5 > 0 → adversary sends −C = −1.
+        assert_eq!(c.run(&net, &[0.5, 0.0], &mut ws), -1.0);
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_and_bounded() {
+        let net = linear_net();
+        let plan = InjectionPlan::byzantine([(0, 0), (0, 1)], ByzantineStrategy::Random { seed: 5 });
+        let c = CompiledPlan::compile(&plan, &net, 0.7).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        let a = c.run(&net, &[0.3, 0.3], &mut ws);
+        let b = c.run(&net, &[0.3, 0.3], &mut ws);
+        assert_eq!(a, b);
+        // |output| = |v0 + 2 v1| ≤ 0.7 + 1.4.
+        assert!(a.abs() <= 2.1 + 1e-12);
+    }
+
+    #[test]
+    fn byzantine_synapse_shifts_sum() {
+        let net = linear_net();
+        let plan = InjectionPlan {
+            neurons: vec![],
+            synapses: vec![
+                SynapseSite {
+                    target: SynapseTarget::Hidden { layer: 0, to: 0, from: 1 },
+                    fault: SynapseFault::Byzantine(0.25),
+                },
+                SynapseSite {
+                    target: SynapseTarget::Output { from: 0 },
+                    fault: SynapseFault::Byzantine(-4.0), // clamped to −1
+                },
+            ],
+        };
+        let c = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        // x = [0,0]: neuron 0 sum = 0 + 0.25 → y0 = 0.25; output = 0.25 − 1.
+        assert_eq!(c.run(&net, &[0.0, 0.0], &mut ws), -0.75);
+    }
+
+    #[test]
+    fn crash_synapse_removes_exact_contribution() {
+        let net = linear_net();
+        let plan = InjectionPlan {
+            neurons: vec![],
+            synapses: vec![
+                SynapseSite {
+                    target: SynapseTarget::Hidden { layer: 0, to: 1, from: 1 },
+                    fault: SynapseFault::Crash,
+                },
+                SynapseSite {
+                    target: SynapseTarget::Output { from: 0 },
+                    fault: SynapseFault::Crash,
+                },
+            ],
+        };
+        let c = CompiledPlan::compile(&plan, &net, 10.0).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        // x = [0.5, 0.25]: hidden crash kills neuron 1's input (y1 = 0),
+        // output crash kills w0·y0. Output = 0 + 2·0 = 0? y1 = x1 via
+        // identity weight from input 1, crashed → y1 = 0; output synapse 0
+        // crashed → output = 2·y1 = 0.
+        assert_eq!(c.run(&net, &[0.5, 0.25], &mut ws), 0.0);
+        // Crash of only the output synapse: output = 2·x1 = 0.5.
+        let plan2 = InjectionPlan {
+            neurons: vec![],
+            synapses: vec![SynapseSite {
+                target: SynapseTarget::Output { from: 0 },
+                fault: SynapseFault::Crash,
+            }],
+        };
+        let c2 = CompiledPlan::compile(&plan2, &net, 10.0).unwrap();
+        assert_eq!(c2.run(&net, &[0.5, 0.25], &mut ws), 0.5);
+    }
+
+    #[test]
+    fn compile_rejects_bad_sites() {
+        let net = linear_net();
+        assert!(matches!(
+            CompiledPlan::compile(&InjectionPlan::crash([(0, 9)]), &net, 1.0),
+            Err(PlanError::BadNeuron { .. })
+        ));
+        assert!(matches!(
+            CompiledPlan::compile(&InjectionPlan::crash([(3, 0)]), &net, 1.0),
+            Err(PlanError::BadNeuron { .. })
+        ));
+        assert!(matches!(
+            CompiledPlan::compile(&InjectionPlan::crash([(0, 0), (0, 0)]), &net, 1.0),
+            Err(PlanError::DuplicateNeuron { .. })
+        ));
+        let bad_syn = InjectionPlan {
+            neurons: vec![],
+            synapses: vec![SynapseSite {
+                target: SynapseTarget::Output { from: 17 },
+                fault: SynapseFault::Crash,
+            }],
+        };
+        assert!(matches!(
+            CompiledPlan::compile(&bad_syn, &net, 1.0),
+            Err(PlanError::BadSynapse(_))
+        ));
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let net = linear_net();
+        let c = CompiledPlan::compile(&InjectionPlan::none(), &net, 1.0).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        for x in [[0.1, 0.9], [0.5, 0.5], [1.0, 0.0]] {
+            assert_eq!(c.run(&net, &x, &mut ws), net.forward(&x));
+            assert_eq!(c.output_error(&net, &x, &mut ws), 0.0);
+        }
+    }
+}

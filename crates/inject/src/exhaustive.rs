@@ -1,0 +1,205 @@
+//! Exhaustive subset enumeration — the combinatorial explosion, kept on
+//! purpose.
+//!
+//! The paper's Section I motivates the analytic bound by the cost of the
+//! experimental alternative: "looking at all the possible inputs and testing
+//! all the possible configurations of the network corresponding to
+//! different failure situations, facing a discouraging combinatorial
+//! explosion". This module implements that alternative (within a budget) so
+//! experiment E14 can *measure* the explosion against the O(L) bound.
+
+use neurofail_nn::{Mlp, Workspace};
+
+use crate::executor::CompiledPlan;
+use crate::plan::InjectionPlan;
+
+/// Iterator over all `k`-subsets of `0..n` in lexicographic order.
+///
+/// Standard revolving-door-free implementation: state is the current
+/// combination; `next` advances the rightmost index that can move.
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    state: Option<Vec<usize>>,
+}
+
+impl Combinations {
+    /// All `k`-subsets of `{0, …, n−1}` (empty iterator when `k > n`).
+    pub fn new(n: usize, k: usize) -> Self {
+        let state = if k <= n {
+            Some((0..k).collect())
+        } else {
+            None
+        };
+        Combinations { n, k, state }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.state.clone()?;
+        // Advance to the next combination.
+        let next = {
+            let mut s = current.clone();
+            let mut i = self.k;
+            loop {
+                if i == 0 {
+                    break None;
+                }
+                i -= 1;
+                if s[i] < self.n - (self.k - i) {
+                    s[i] += 1;
+                    for j in i + 1..self.k {
+                        s[j] = s[j - 1] + 1;
+                    }
+                    break Some(s);
+                }
+            }
+        };
+        self.state = next;
+        Some(current)
+    }
+}
+
+/// `C(n, k)` without overflow for the sizes used here (u128 internally;
+/// saturates at `u128::MAX`).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Result of an exhaustive single-layer crash sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveResult {
+    /// Worst disturbance found.
+    pub worst_error: f64,
+    /// The subset achieving it.
+    pub worst_subset: Vec<usize>,
+    /// Number of `(subset, input)` evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Evaluate **every** `k`-subset of layer `layer`'s neurons as a crash set,
+/// over the given inputs, and return the worst disturbance. Cost is
+/// `C(N_layer, k) × inputs.len()` forward passes — the explosion itself.
+///
+/// # Panics
+/// If `layer` is out of range or `k` exceeds the layer width.
+pub fn exhaustive_crash_search(
+    net: &Mlp,
+    layer: usize,
+    k: usize,
+    inputs: &[Vec<f64>],
+    capacity: f64,
+) -> ExhaustiveResult {
+    let widths = net.widths();
+    assert!(layer < widths.len(), "layer {layer} out of range");
+    assert!(k <= widths[layer], "k = {k} exceeds layer width {}", widths[layer]);
+    let mut ws = Workspace::for_net(net);
+    let mut worst_error = 0.0f64;
+    let mut worst_subset = Vec::new();
+    let mut evaluations = 0u64;
+    for subset in Combinations::new(widths[layer], k) {
+        let plan = InjectionPlan::crash(subset.iter().map(|&n| (layer, n)));
+        let compiled = CompiledPlan::compile(&plan, net, capacity).expect("valid subset");
+        for x in inputs {
+            let err = compiled.output_error(net, x, &mut ws);
+            evaluations += 1;
+            if err > worst_error {
+                worst_error = err;
+                worst_subset = subset.clone();
+            }
+        }
+    }
+    ExhaustiveResult {
+        worst_error,
+        worst_subset,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::layer::DenseLayer;
+    use neurofail_nn::network::Layer;
+    use neurofail_tensor::Matrix;
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(3, 0).count(), 1); // the empty subset
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+        assert_eq!(Combinations::new(2, 3).count(), 0);
+        assert_eq!(Combinations::new(0, 0).count(), 1);
+    }
+
+    #[test]
+    fn combination_counts_match_binomial() {
+        for n in 0..8u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    Combinations::new(n as usize, k as usize).count() as u128,
+                    binomial(n, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(50, 25), 126_410_606_437_752);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn exhaustive_search_finds_the_known_worst_subset() {
+        // Output weights [0.1, 0.9, 0.5]: worst single crash is neuron 1,
+        // worst pair is {1, 2} (identity activations make it exact).
+        let net = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::identity(3),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![0.1, 0.9, 0.5],
+            0.0,
+        );
+        let inputs = vec![vec![1.0, 1.0, 1.0], vec![0.2, 0.2, 0.2]];
+        let res1 = exhaustive_crash_search(&net, 0, 1, &inputs, 10.0);
+        assert_eq!(res1.worst_subset, vec![1]);
+        assert!((res1.worst_error - 0.9).abs() < 1e-12);
+        assert_eq!(res1.evaluations, 6); // C(3,1) × 2 inputs
+        let res2 = exhaustive_crash_search(&net, 0, 2, &inputs, 10.0);
+        assert_eq!(res2.worst_subset, vec![1, 2]);
+        assert!((res2.worst_error - 1.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Input-space maximisation of a disturbance objective.
+//!
+//! The tightness side of the paper's theorems quantifies over inputs: the
+//! worst case needs an `X` that drives the failing neurons' outputs towards
+//! their extremes. This module provides a derivative-free maximiser over
+//! `[0,1]^d`: multi-start coordinate ascent with geometric step shrinking —
+//! crude, deterministic, and effective on the smooth objectives produced by
+//! sigmoidal networks.
+
+use neurofail_data::rng::DetRng;
+use rand::Rng;
+
+/// Search budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Random restarts (first start is the cube centre).
+    pub restarts: usize,
+    /// Coordinate-ascent sweeps per start.
+    pub sweeps: usize,
+    /// Initial per-coordinate step.
+    pub init_step: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            restarts: 8,
+            sweeps: 40,
+            init_step: 0.25,
+        }
+    }
+}
+
+/// Maximise `objective` over `[0,1]^d`; returns `(best value, argmax)`.
+///
+/// # Panics
+/// If `d == 0`.
+pub fn maximize(
+    d: usize,
+    objective: impl Fn(&[f64]) -> f64,
+    cfg: &SearchConfig,
+    rng: &mut DetRng,
+) -> (f64, Vec<f64>) {
+    assert!(d > 0, "maximize: need at least one dimension");
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_x = vec![0.5; d];
+    for start in 0..cfg.restarts.max(1) {
+        let mut x: Vec<f64> = if start == 0 {
+            vec![0.5; d]
+        } else if start == 1 {
+            vec![1.0; d]
+        } else if start == 2 {
+            vec![0.0; d]
+        } else {
+            (0..d).map(|_| rng.gen_range(0.0..=1.0)).collect()
+        };
+        let mut val = objective(&x);
+        let mut step = cfg.init_step;
+        for _ in 0..cfg.sweeps {
+            let mut improved = false;
+            for i in 0..d {
+                let orig = x[i];
+                for cand in [(orig + step).min(1.0), (orig - step).max(0.0)] {
+                    if cand == orig {
+                        continue;
+                    }
+                    x[i] = cand;
+                    let v = objective(&x);
+                    if v > val {
+                        val = v;
+                        improved = true;
+                        break; // keep the improvement, move to next coord
+                    }
+                    x[i] = orig;
+                }
+            }
+            if !improved {
+                step *= 0.5;
+                if step < 1e-4 {
+                    break;
+                }
+            }
+        }
+        if val > best_val {
+            best_val = val;
+            best_x = x;
+        }
+    }
+    (best_val, best_x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_data::rng::rng;
+
+    #[test]
+    fn finds_corner_maximum_of_linear_function() {
+        // f(x) = 2x0 − x1: max at (1, 0), value 2.
+        let (v, x) = maximize(
+            2,
+            |x| 2.0 * x[0] - x[1],
+            &SearchConfig::default(),
+            &mut rng(70),
+        );
+        assert!((v - 2.0).abs() < 1e-3, "value {v}");
+        assert!((x[0] - 1.0).abs() < 1e-3 && x[1] < 1e-3);
+    }
+
+    #[test]
+    fn finds_interior_maximum_of_smooth_bump() {
+        // Peak at (0.3, 0.7).
+        let (v, x) = maximize(
+            2,
+            |x| {
+                let dx = x[0] - 0.3;
+                let dy = x[1] - 0.7;
+                (-8.0 * (dx * dx + dy * dy)).exp()
+            },
+            &SearchConfig {
+                restarts: 6,
+                sweeps: 60,
+                init_step: 0.25,
+            },
+            &mut rng(71),
+        );
+        assert!(v > 0.999, "value {v}");
+        assert!((x[0] - 0.3).abs() < 0.02 && (x[1] - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f = |x: &[f64]| x.iter().map(|v| (v - 0.4).abs()).sum::<f64>();
+        let a = maximize(3, f, &SearchConfig::default(), &mut rng(72));
+        let b = maximize(3, f, &SearchConfig::default(), &mut rng(72));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stays_inside_cube() {
+        let (_, x) = maximize(
+            4,
+            |x| x.iter().sum::<f64>() * 100.0,
+            &SearchConfig::default(),
+            &mut rng(73),
+        );
+        assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # neurofail-inject
+//!
+//! The fault-injection engine of the `neurofail` workspace — the
+//! experimental counterpart of `neurofail-core`'s analytic bounds:
+//!
+//! * [`plan`] — serialisable injection plans: crash / Byzantine / stuck-at
+//!   **neurons** (the paper's Definition 2) and crash / Byzantine
+//!   **synapses** (Section II-A, Lemma 2), all under the capacity clamp of
+//!   Assumption 1.
+//! * [`executor`] — plans compiled against a network and applied through
+//!   the forward pass's `Tap` hooks; measures `|F_neu(X) − F_fail(X)|`,
+//!   the left side of Theorem 2's inequality.
+//! * [`sampler`] / [`campaign`] — Monte-Carlo campaigns over random
+//!   `(plan, input)` pairs, parallel and bit-reproducible for any thread
+//!   count.
+//! * [`exhaustive`] — the "discouraging combinatorial explosion" itself
+//!   (full subset enumeration), kept so experiments can price it against
+//!   the O(L) bound.
+//! * [`adversary`] / [`input_search`] — the tightness playbook: kill the
+//!   highest same-sign-weight neurons, then search the input cube for the
+//!   disturbance maximiser (Theorem 1's equality cases).
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod campaign;
+pub mod executor;
+pub mod exhaustive;
+pub mod input_search;
+pub mod plan;
+pub mod sampler;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
+pub use executor::{CompiledPlan, PlanError};
+pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
+pub use sampler::FaultSpec;

@@ -1,0 +1,187 @@
+//! Fluent construction of networks.
+
+use neurofail_tensor::init::Init;
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::conv::Conv1dLayer;
+use crate::layer::DenseLayer;
+use crate::network::{Layer, Mlp};
+
+/// Builder for [`Mlp`] networks.
+///
+/// ```
+/// use neurofail_nn::builder::MlpBuilder;
+/// use neurofail_nn::activation::Activation;
+/// use neurofail_tensor::init::Init;
+///
+/// let mut rng = rand::thread_rng();
+/// let net = MlpBuilder::new(3)
+///     .dense(16, Activation::Sigmoid { k: 1.0 })
+///     .dense(8, Activation::Sigmoid { k: 1.0 })
+///     .init(Init::Xavier)
+///     .bias(true)
+///     .build(&mut rng);
+/// assert_eq!(net.depth(), 2);
+/// assert_eq!(net.widths(), vec![16, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    input_dim: usize,
+    specs: Vec<LayerSpec>,
+    init: Init,
+    output_init: Option<Init>,
+    bias: bool,
+}
+
+#[derive(Debug, Clone)]
+enum LayerSpec {
+    Dense { n: usize, act: Activation },
+    Conv1d { channels: usize, width: usize, act: Activation },
+}
+
+impl MlpBuilder {
+    /// Start a network over `d` input clients.
+    pub fn new(input_dim: usize) -> Self {
+        assert!(input_dim > 0, "MlpBuilder: input dimension must be positive");
+        MlpBuilder {
+            input_dim,
+            specs: Vec::new(),
+            init: Init::Xavier,
+            output_init: None,
+            bias: true,
+        }
+    }
+
+    /// Append a dense layer of `n` neurons.
+    pub fn dense(mut self, n: usize, act: Activation) -> Self {
+        assert!(n > 0, "MlpBuilder: layer width must be positive");
+        self.specs.push(LayerSpec::Dense { n, act });
+        self
+    }
+
+    /// Append a 1-D convolutional layer (`channels` kernels of `width`).
+    pub fn conv1d(mut self, channels: usize, width: usize, act: Activation) -> Self {
+        assert!(channels > 0 && width > 0, "MlpBuilder: conv shape must be positive");
+        self.specs.push(LayerSpec::Conv1d { channels, width, act });
+        self
+    }
+
+    /// Weight initialisation for hidden layers (default Xavier).
+    pub fn init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Weight initialisation for the output node (defaults to the hidden
+    /// initialiser).
+    pub fn output_init(mut self, init: Init) -> Self {
+        self.output_init = Some(init);
+        self
+    }
+
+    /// Whether layers carry bias (constant-neuron) weights. Default `true`;
+    /// tightness experiments turn it off so `w_m` is weight-only.
+    pub fn bias(mut self, bias: bool) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Sample the network.
+    ///
+    /// # Panics
+    /// If no layers were specified, or a conv layer's kernel exceeds its
+    /// input length.
+    pub fn build(self, rng: &mut impl Rng) -> Mlp {
+        assert!(!self.specs.is_empty(), "MlpBuilder: need at least one layer");
+        let mut layers = Vec::with_capacity(self.specs.len());
+        let mut in_dim = self.input_dim;
+        for spec in &self.specs {
+            let layer = match *spec {
+                LayerSpec::Dense { n, act } => {
+                    let l = DenseLayer::random(in_dim, n, act, self.init, self.bias, rng);
+                    in_dim = n;
+                    Layer::Dense(l)
+                }
+                LayerSpec::Conv1d { channels, width, act } => {
+                    let l = Conv1dLayer::random(in_dim, channels, width, act, self.init, self.bias, rng);
+                    in_dim = l.out_dim();
+                    Layer::Conv1d(l)
+                }
+            };
+            layers.push(layer);
+        }
+        let out_init = self.output_init.unwrap_or(self.init);
+        let output_weights = out_init.matrix(1, in_dim, rng).data().to_vec();
+        Mlp::new(layers, output_weights, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_requested_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let net = MlpBuilder::new(4)
+            .dense(10, Activation::Sigmoid { k: 1.0 })
+            .dense(6, Activation::Tanh { k: 2.0 })
+            .build(&mut rng);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.widths(), vec![10, 6]);
+        assert_eq!(net.output_weights().len(), 6);
+    }
+
+    #[test]
+    fn conv_chain_dimensions() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = MlpBuilder::new(10)
+            .conv1d(2, 3, Activation::Sigmoid { k: 1.0 }) // 2×8 = 16
+            .dense(5, Activation::Sigmoid { k: 1.0 })
+            .build(&mut rng);
+        assert_eq!(net.widths(), vec![16, 5]);
+    }
+
+    #[test]
+    fn bias_toggle_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let net = MlpBuilder::new(2)
+            .dense(3, Activation::Sigmoid { k: 1.0 })
+            .bias(false)
+            .build(&mut rng);
+        match &net.layers()[0] {
+            Layer::Dense(d) => assert!(!d.has_bias()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn constant_init_gives_exact_wm() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = MlpBuilder::new(2)
+            .dense(3, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Constant(0.25))
+            .bias(false)
+            .build(&mut rng);
+        assert_eq!(net.max_abs_weight(), 0.25);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let build = || {
+            MlpBuilder::new(3)
+                .dense(7, Activation::Sigmoid { k: 1.0 })
+                .build(&mut SmallRng::seed_from_u64(9))
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_builder_panics() {
+        let _ = MlpBuilder::new(2).build(&mut SmallRng::seed_from_u64(0));
+    }
+}

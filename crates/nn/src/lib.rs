@@ -1,0 +1,40 @@
+//! # neurofail-nn
+//!
+//! The feed-forward neural network substrate of the `neurofail` workspace —
+//! the paper's Section II model, implemented literally and from scratch:
+//!
+//! * [`activation`] — K-tuned squashing functions with first-class Lipschitz
+//!   constants (`K`) and suprema (`sup ϕ`), the two analytic quantities every
+//!   bound consumes.
+//! * [`layer`] / [`conv`] — dense layers (Equation 3) and convolutional
+//!   layers with explicit receptive fields and shared kernels (Section VI).
+//! * [`network`] — the [`network::Mlp`]: `L` layers plus a *linear output
+//!   client node* (Equation 1), with [`network::Tap`] hooks exposing both
+//!   failure sites of the paper's model (post-activation neuron outputs and
+//!   pre-activation synapse sums) to the fault-injection engine.
+//! * [`topology`] — extraction of `(L, N_l, w_m^(l), K, sup ϕ)`, everything
+//!   the analytical bounds need ("computing this quantity only requires
+//!   looking at the topology of the network").
+//! * [`train`] — backpropagation + SGD with momentum, weight decay and the
+//!   Fep-aware penalty (the paper's closing research direction).
+//! * [`metrics`] — sup-norm ε' estimation on deterministic point sets.
+//!
+//! Conventions: code layer indices are 0-based (`0..L`); the paper's layers
+//! are 1-based (`1..=L`). Biases are weights from a constant neuron (paper
+//! footnote 4); the output node is a client and performs no activation.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod builder;
+pub mod conv;
+pub mod layer;
+pub mod metrics;
+pub mod network;
+pub mod topology;
+pub mod train;
+
+pub use activation::Activation;
+pub use builder::MlpBuilder;
+pub use network::{Layer, Mlp, NoTap, Tap, Workspace};
+pub use topology::Topology;

@@ -1,0 +1,121 @@
+//! Approximation-quality metrics: the empirical ε' of Definition 1.
+//!
+//! The paper's Definition 1 requires `‖F(X) − F_neu(X)‖ ≤ ε` for *all*
+//! `X ∈ [0,1]^d`. These helpers estimate the sup-norm on deterministic
+//! point sets (grid or Halton; see `neurofail-data::grid`), which is the
+//! standard tractable proxy the experiments use for ε'.
+
+use neurofail_data::functions::TargetFn;
+use neurofail_data::grid;
+
+use crate::network::{Mlp, Workspace};
+
+/// Estimated `sup_X |F(X) − F_neu(X)|` over `points`.
+pub fn sup_error_on<'a>(
+    net: &Mlp,
+    target: &dyn TargetFn,
+    points: impl Iterator<Item = &'a Vec<f64>>,
+) -> f64 {
+    let mut ws = Workspace::for_net(net);
+    let mut worst = 0.0f64;
+    for x in points {
+        let err = (net.forward_ws(x, &mut ws) - target.eval(x)).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Sup-error over a Halton low-discrepancy set of `n` points — the default
+/// ε' estimator for experiments (deterministic, dimension-robust).
+pub fn sup_error_halton(net: &Mlp, target: &dyn TargetFn, n: usize) -> f64 {
+    let pts = grid::halton_points(target.dim(), n);
+    sup_error_on(net, target, pts.iter())
+}
+
+/// Sup-error over a regular grid with `per_axis` points per axis (use for
+/// small `d` only: cost is `per_axis^d`).
+pub fn sup_error_grid(net: &Mlp, target: &dyn TargetFn, per_axis: usize) -> f64 {
+    let mut ws = Workspace::for_net(net);
+    let mut worst = 0.0f64;
+    for x in grid::regular_grid(target.dim(), per_axis) {
+        let err = (net.forward_ws(&x, &mut ws) - target.eval(&x)).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Mean squared error over a Halton set of `n` points.
+pub fn mse_halton(net: &Mlp, target: &dyn TargetFn, n: usize) -> f64 {
+    let pts = grid::halton_points(target.dim(), n);
+    let mut ws = Workspace::for_net(net);
+    let mut acc = 0.0;
+    for x in &pts {
+        let e = net.forward_ws(x, &mut ws) - target.eval(x);
+        acc += e * e;
+    }
+    acc / pts.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::builder::MlpBuilder;
+    use neurofail_data::functions::ConstantHalf;
+    use neurofail_data::rng::rng;
+    use neurofail_tensor::init::Init;
+
+    /// A network that outputs exactly 0.5 everywhere: zero output weights
+    /// and output bias 0.5.
+    fn half_net(d: usize) -> Mlp {
+        let mut net = MlpBuilder::new(d)
+            .dense(4, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut rng(41));
+        for w in net.output_weights_mut() {
+            *w = 0.0;
+        }
+        // output bias is private: rebuild with explicit bias
+        Mlp::new(net.layers().to_vec(), vec![0.0; 4], 0.5)
+    }
+
+    #[test]
+    fn perfect_net_has_zero_sup_error() {
+        let net = half_net(3);
+        let target = ConstantHalf { d: 3 };
+        assert_eq!(sup_error_halton(&net, &target, 200), 0.0);
+        assert_eq!(sup_error_grid(&net, &target, 4), 0.0);
+        assert_eq!(mse_halton(&net, &target, 200), 0.0);
+    }
+
+    #[test]
+    fn wrong_net_has_positive_error() {
+        let net = half_net(2);
+        // Target is 0 everywhere except it's 0.5-distant from our net.
+        struct Zero;
+        impl neurofail_data::functions::TargetFn for Zero {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn eval(&self, _x: &[f64]) -> f64 {
+                0.0
+            }
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+        }
+        let sup = sup_error_halton(&net, &Zero, 100);
+        assert!((sup - 0.5).abs() < 1e-12);
+        let mse = mse_halton(&net, &Zero, 100);
+        assert!((mse - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_and_halton_agree_for_smooth_targets() {
+        let net = half_net(2);
+        let target = ConstantHalf { d: 2 };
+        let g = sup_error_grid(&net, &target, 8);
+        let h = sup_error_halton(&net, &target, 64);
+        assert!((g - h).abs() < 1e-12);
+    }
+}

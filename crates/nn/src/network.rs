@@ -1,0 +1,651 @@
+//! The multilayer network of the paper's Section II, made executable.
+//!
+//! An [`Mlp`] is `L` layers of neurons plus the *output node*: following the
+//! paper, input nodes and the output node are **clients** of the network,
+//! not part of it. The output node is linear (Equation 1):
+//! `F_neu(X) = Σ_i w^(L+1)_i · y^(L)_i` — its incoming synapses *are* part
+//! of the network (they carry the `w^(L+1)` weights and can fail), but it
+//! performs no activation.
+//!
+//! Fault injection hooks into the forward pass through the [`Tap`] trait:
+//! the executor in `neurofail-inject` observes and overwrites layer sums and
+//! outputs exactly where the paper's Definition 2 places failures.
+
+use neurofail_tensor::ops;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::conv::Conv1dLayer;
+use crate::layer::DenseLayer;
+
+/// One layer of neurons (paper layer `l ∈ {1, …, L}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected layer.
+    Dense(DenseLayer),
+    /// 1-D convolutional layer (Section VI extension).
+    Conv1d(Conv1dLayer),
+}
+
+impl Layer {
+    /// Input dimension `N_{l-1}` (or `d` for the first layer).
+    pub fn in_dim(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.in_dim(),
+            Layer::Conv1d(l) => l.in_dim(),
+        }
+    }
+
+    /// Number of neurons `N_l` in this layer.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            Layer::Dense(l) => l.out_dim(),
+            Layer::Conv1d(l) => l.out_dim(),
+        }
+    }
+
+    /// The activation ϕ of this layer.
+    pub fn activation(&self) -> Activation {
+        match self {
+            Layer::Dense(l) => l.activation(),
+            Layer::Conv1d(l) => l.activation(),
+        }
+    }
+
+    /// Synaptic weight from left-neuron `i` into neuron `j` (0 where no
+    /// synapse exists, e.g. outside a convolutional receptive field).
+    pub fn weight(&self, j: usize, i: usize) -> f64 {
+        match self {
+            Layer::Dense(l) => l.weight(j, i),
+            Layer::Conv1d(l) => l.weight(j, i),
+        }
+    }
+
+    /// `w_m^(l)`: max |w| over all synapses entering this layer, bias
+    /// (constant-neuron) synapses included.
+    pub fn max_abs_weight(&self) -> f64 {
+        match self {
+            Layer::Dense(l) => l.max_abs_weight(),
+            Layer::Conv1d(l) => l.max_abs_weight(),
+        }
+    }
+
+    /// `w_m^(l)` excluding bias synapses (the error-propagation factor:
+    /// constant neurons carry no upstream error).
+    pub fn max_abs_weight_nonbias(&self) -> f64 {
+        match self {
+            Layer::Dense(l) => l.max_abs_weight_nonbias(),
+            Layer::Conv1d(l) => l.max_abs_weight_nonbias(),
+        }
+    }
+
+    /// Receptive-field size `R(l)` for convolutional layers, `None` for
+    /// dense layers (full fan-in).
+    pub fn receptive_field(&self) -> Option<usize> {
+        match self {
+            Layer::Dense(_) => None,
+            Layer::Conv1d(l) => Some(l.receptive_field()),
+        }
+    }
+
+    /// Forward into caller buffers.
+    pub fn forward_into(&self, input: &[f64], sums: &mut [f64], out: &mut [f64]) {
+        match self {
+            Layer::Dense(l) => l.forward_into(input, sums, out),
+            Layer::Conv1d(l) => l.forward_into(input, sums, out),
+        }
+    }
+
+    /// Scale all weights by `factor`.
+    pub fn scale_weights(&mut self, factor: f64) {
+        match self {
+            Layer::Dense(l) => l.scale_weights(factor),
+            Layer::Conv1d(l) => l.scale_weights(factor),
+        }
+    }
+
+    /// Retune the activation Lipschitz constant.
+    pub fn set_lipschitz(&mut self, k: f64) {
+        match self {
+            Layer::Dense(l) => l.set_lipschitz(k),
+            Layer::Conv1d(l) => l.set_lipschitz(k),
+        }
+    }
+}
+
+/// Observer/mutator hooks over a forward pass.
+///
+/// Layer indices are 0-based in code: code layer `l` is the paper's layer
+/// `l+1`. All hooks default to no-ops, so implementations override only the
+/// failure sites they model:
+///
+/// * crash/Byzantine **neurons** (paper Definition 2) overwrite entries of
+///   `outputs` in [`Tap::post_activation`];
+/// * faulty **synapses** between hidden layers (Theorem 4) perturb entries
+///   of `sums` in [`Tap::pre_activation`], using `input` (the left layer's
+///   values, after its own faults) to compute the nominal contribution they
+///   replace;
+/// * faulty synapses into the **output node** perturb the final dot product
+///   in [`Tap::output_sum`].
+pub trait Tap {
+    /// Called for each layer after its weighted sums are computed, before
+    /// the activation. `input` is the layer's (possibly already-faulted)
+    /// input vector.
+    fn pre_activation(&mut self, layer: usize, input: &[f64], sums: &mut [f64]) {
+        let _ = (layer, input, sums);
+    }
+
+    /// Called for each layer after the activation is applied.
+    fn post_activation(&mut self, layer: usize, outputs: &mut [f64]) {
+        let _ = (layer, outputs);
+    }
+
+    /// Called once with the output node's sum `Σ w^(L+1)_i y^(L)_i` before
+    /// it is returned. `last_out` is the (possibly faulted) last layer.
+    fn output_sum(&mut self, last_out: &[f64], sum: &mut f64) {
+        let _ = (last_out, sum);
+    }
+}
+
+/// The trivial tap: observes nothing, mutates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTap;
+
+impl Tap for NoTap {}
+
+/// Reusable per-layer buffers for allocation-free forward passes.
+///
+/// After a pass, `sums[l]` and `outs[l]` hold layer `l`'s pre-activations
+/// and outputs — the trace fault-injection and boosting experiments read.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Pre-activation sums per layer.
+    pub sums: Vec<Vec<f64>>,
+    /// Post-activation outputs per layer.
+    pub outs: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// Allocate buffers matching `net`'s shape.
+    pub fn for_net(net: &Mlp) -> Self {
+        Workspace {
+            sums: net.layers.iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+            outs: net.layers.iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+        }
+    }
+}
+
+/// A feed-forward multilayer network with a linear output client node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    pub(crate) layers: Vec<Layer>,
+    /// Output-node weights `w^(L+1)` (one per last-layer neuron).
+    pub(crate) output_weights: Vec<f64>,
+    /// Output-node bias (0 in the paper's model; differences `F − F_fail`
+    /// cancel it, so bounds are unaffected).
+    pub(crate) output_bias: f64,
+}
+
+impl Mlp {
+    /// Assemble from parts.
+    ///
+    /// # Panics
+    /// If layer dimensions do not chain, or the output weight count does not
+    /// match the last layer, or `layers` is empty.
+    pub fn new(layers: Vec<Layer>, output_weights: Vec<f64>, output_bias: f64) -> Self {
+        assert!(!layers.is_empty(), "Mlp: need at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "Mlp: layer dimension mismatch {} -> {}",
+                w[0].out_dim(),
+                w[1].in_dim()
+            );
+        }
+        assert_eq!(
+            output_weights.len(),
+            layers.last().unwrap().out_dim(),
+            "Mlp: output weight count mismatch"
+        );
+        Mlp {
+            layers,
+            output_weights,
+            output_bias,
+        }
+    }
+
+    /// Input dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Number of layers `L` (excluding input/output clients).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Neurons per layer `(N_1, …, N_L)`.
+    pub fn widths(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.out_dim()).collect()
+    }
+
+    /// Total number of neurons `N = Σ N_l`.
+    pub fn neuron_count(&self) -> usize {
+        self.layers.iter().map(|l| l.out_dim()).sum()
+    }
+
+    /// Borrow the layers (code-index `0..L`, paper layers `1..=L`).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Output-node weights `w^(L+1)`.
+    pub fn output_weights(&self) -> &[f64] {
+        &self.output_weights
+    }
+
+    /// Mutably borrow the output-node weights.
+    pub fn output_weights_mut(&mut self) -> &mut [f64] {
+        &mut self.output_weights
+    }
+
+    /// Output-node bias.
+    pub fn output_bias(&self) -> f64 {
+        self.output_bias
+    }
+
+    /// `w_m^(L+1)`: max |w| over the output node's incoming synapses.
+    pub fn output_max_abs_weight(&self) -> f64 {
+        ops::max_abs(&self.output_weights)
+    }
+
+    /// Forward pass through a reusable workspace, with a [`Tap`].
+    ///
+    /// # Panics
+    /// If `x.len() != input_dim()` or `ws` shapes mismatch.
+    pub fn forward_tapped(&self, x: &[f64], ws: &mut Workspace, tap: &mut impl Tap) -> f64 {
+        assert_eq!(x.len(), self.input_dim(), "forward: input dimension mismatch");
+        let nl = self.layers.len();
+        for l in 0..nl {
+            let (prev_outs, rest) = ws.outs.split_at_mut(l);
+            let input: &[f64] = if l == 0 { x } else { &prev_outs[l - 1] };
+            let sums = &mut ws.sums[l];
+            let out = &mut rest[0];
+            // Compute sums and activations separately so taps interpose at
+            // both failure sites of the paper's model.
+            match &self.layers[l] {
+                Layer::Dense(d) => d.sums_into(input, sums),
+                Layer::Conv1d(c) => c.sums_into(input, sums),
+            }
+            tap.pre_activation(l, input, sums);
+            let act = self.layers[l].activation();
+            for (o, &s) in out.iter_mut().zip(sums.iter()) {
+                *o = act.apply(s);
+            }
+            tap.post_activation(l, out);
+        }
+        let last = &ws.outs[nl - 1];
+        let mut sum = ops::dot(&self.output_weights, last) + self.output_bias;
+        tap.output_sum(last, &mut sum);
+        sum
+    }
+
+    /// Forward pass through a reusable workspace (no taps).
+    pub fn forward_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        self.forward_tapped(x, ws, &mut NoTap)
+    }
+
+    /// Convenience forward pass that allocates a fresh workspace.
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        let mut ws = Workspace::for_net(self);
+        self.forward_ws(x, &mut ws)
+    }
+
+    /// Retune every layer's activation to Lipschitz constant `k`
+    /// (the Figure 3 sweep: same weights, different K).
+    pub fn set_lipschitz(&mut self, k: f64) {
+        for l in &mut self.layers {
+            l.set_lipschitz(k);
+        }
+    }
+
+    /// The largest Lipschitz constant over layers — the network-level `K`
+    /// entering the bounds.
+    pub fn lipschitz(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.activation().lipschitz())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scale every hidden-layer weight and the output weights by `factor`
+    /// (the weight-magnitude trade-off knob of Section V-C).
+    pub fn scale_all_weights(&mut self, factor: f64) {
+        for l in &mut self.layers {
+            l.scale_weights(factor);
+        }
+        for w in &mut self.output_weights {
+            *w *= factor;
+        }
+    }
+
+    /// Max |w| over the entire network (hidden and output synapses).
+    pub fn max_abs_weight(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.max_abs_weight())
+            .fold(self.output_max_abs_weight(), f64::max)
+    }
+
+    /// Over-provision by neuron replication — Corollary 1 made literal.
+    ///
+    /// Every neuron is cloned `m` times; a clone keeps its template's
+    /// incoming weights and bias, and all weights *out of* a replicated
+    /// layer are divided by `m`. Because the `m` clones broadcast identical
+    /// values, the represented function is **exactly** preserved (up to
+    /// floating-point summation order), while every weight statistic the
+    /// bounds consume (`w_m^(l)` for `l ≥ 2` and `w_m^(L+1)`) shrinks by
+    /// `1/m` and every `N_l` grows by `m` — which is precisely the
+    /// `NetworkProfile::widened` transform, so fault tolerance scales ~`m`.
+    ///
+    /// Dense layers only.
+    ///
+    /// # Panics
+    /// If `m == 0` or the network contains convolutional layers (their
+    /// weight sharing does not survive per-neuron replication).
+    #[must_use]
+    pub fn replicate(&self, m: usize) -> Mlp {
+        assert!(m >= 1, "replicate: factor must be at least 1");
+        use crate::layer::DenseLayer;
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let Layer::Dense(d) = layer else {
+                panic!("replicate: layer {li} is not dense");
+            };
+            let (rows, cols) = (d.out_dim(), d.in_dim());
+            // First layer keeps its input fan-in; later layers see m× more
+            // (replicated) senders with weights scaled by 1/m.
+            let (new_cols, scale) = if li == 0 {
+                (cols, 1.0)
+            } else {
+                (cols * m, 1.0 / m as f64)
+            };
+            let weights = neurofail_tensor::Matrix::from_fn(rows * m, new_cols, |r, c| {
+                let template_row = r / m;
+                let template_col = if li == 0 { c } else { c / m };
+                d.weight(template_row, template_col) * scale
+            });
+            let bias: Vec<f64> = if d.has_bias() {
+                (0..rows * m).map(|r| d.bias()[r / m]).collect()
+            } else {
+                Vec::new()
+            };
+            layers.push(Layer::Dense(DenseLayer::new(weights, bias, d.activation())));
+        }
+        let last = self.output_weights.len();
+        let output_weights: Vec<f64> = (0..last * m)
+            .map(|i| self.output_weights[i / m] / m as f64)
+            .collect();
+        Mlp::new(layers, output_weights, self.output_bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_tensor::Matrix;
+
+    /// 2-2-1 network with identity activations for exact arithmetic.
+    fn linear_net() -> Mlp {
+        Mlp::new(
+            vec![
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+                    vec![],
+                    Activation::Identity,
+                )),
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, 0.5]),
+                    vec![],
+                    Activation::Identity,
+                )),
+            ],
+            vec![1.0, 2.0],
+            0.0,
+        )
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let net = linear_net();
+        // x = [1, 1]: layer1 = [3, 7]; layer2 = [-4, 5]; out = -4 + 10 = 6.
+        assert_eq!(net.forward(&[1.0, 1.0]), 6.0);
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let net = linear_net();
+        assert_eq!(net.input_dim(), 2);
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.widths(), vec![2, 2]);
+        assert_eq!(net.neuron_count(), 4);
+        assert_eq!(net.output_max_abs_weight(), 2.0);
+        assert_eq!(net.max_abs_weight(), 4.0);
+    }
+
+    #[test]
+    fn workspace_records_trace() {
+        let net = linear_net();
+        let mut ws = Workspace::for_net(&net);
+        let _ = net.forward_ws(&[1.0, 1.0], &mut ws);
+        assert_eq!(ws.outs[0], vec![3.0, 7.0]);
+        assert_eq!(ws.outs[1], vec![-4.0, 5.0]);
+        assert_eq!(ws.sums[1], vec![-4.0, 5.0]);
+    }
+
+    struct CrashFirstNeuron {
+        layer: usize,
+    }
+    impl Tap for CrashFirstNeuron {
+        fn post_activation(&mut self, layer: usize, outputs: &mut [f64]) {
+            if layer == self.layer {
+                outputs[0] = 0.0;
+            }
+        }
+    }
+
+    #[test]
+    fn tap_can_crash_a_neuron() {
+        let net = linear_net();
+        let mut ws = Workspace::for_net(&net);
+        // Crash neuron 0 of layer 0: layer1 = [0, 7]; layer2 = [-7, 3.5];
+        // out = -7 + 7 = 0.
+        let y = net.forward_tapped(&[1.0, 1.0], &mut ws, &mut CrashFirstNeuron { layer: 0 });
+        assert_eq!(y, 0.0);
+    }
+
+    struct AddToSums {
+        delta: f64,
+    }
+    impl Tap for AddToSums {
+        fn pre_activation(&mut self, layer: usize, _input: &[f64], sums: &mut [f64]) {
+            if layer == 1 {
+                sums[1] += self.delta;
+            }
+        }
+    }
+
+    #[test]
+    fn tap_can_perturb_pre_activation() {
+        let net = linear_net();
+        let mut ws = Workspace::for_net(&net);
+        let y = net.forward_tapped(&[1.0, 1.0], &mut ws, &mut AddToSums { delta: 10.0 });
+        // layer2[1] = 5 + 10 = 15; out = -4 + 30 = 26.
+        assert_eq!(y, 26.0);
+    }
+
+    struct HijackOutput;
+    impl Tap for HijackOutput {
+        fn output_sum(&mut self, _last: &[f64], sum: &mut f64) {
+            *sum += 100.0;
+        }
+    }
+
+    #[test]
+    fn tap_can_perturb_output_sum() {
+        let net = linear_net();
+        let mut ws = Workspace::for_net(&net);
+        assert_eq!(net.forward_tapped(&[1.0, 1.0], &mut ws, &mut HijackOutput), 106.0);
+    }
+
+    #[test]
+    fn set_lipschitz_retunes_all_layers() {
+        let mut net = linear_net();
+        net.layers_mut()[0].set_lipschitz(1.0); // identity: no-op
+        net.set_lipschitz(3.0);
+        // Identity layers are untouched but report K = 1.
+        assert_eq!(net.lipschitz(), 1.0);
+
+        let mut sig = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(1, 1, vec![1.0]),
+                vec![],
+                Activation::Sigmoid { k: 1.0 },
+            ))],
+            vec![1.0],
+            0.0,
+        );
+        sig.set_lipschitz(2.5);
+        assert_eq!(sig.lipschitz(), 2.5);
+    }
+
+    #[test]
+    fn scale_all_weights_scales_output_too() {
+        let mut net = linear_net();
+        net.scale_all_weights(0.5);
+        assert_eq!(net.max_abs_weight(), 2.0);
+        assert_eq!(net.output_weights(), &[0.5, 1.0]);
+        // Linear network: output scales by 0.5 per hidden layer and output
+        // stage = 0.125 overall.
+        assert_eq!(net.forward(&[1.0, 1.0]), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_layers_panic() {
+        let _ = Mlp::new(
+            vec![
+                Layer::Dense(DenseLayer::new(Matrix::zeros(3, 2), vec![], Activation::Identity)),
+                Layer::Dense(DenseLayer::new(Matrix::zeros(2, 4), vec![], Activation::Identity)),
+            ],
+            vec![0.0, 0.0],
+            0.0,
+        );
+    }
+
+    #[test]
+    fn mixed_conv_dense_network_runs() {
+        use crate::conv::Conv1dLayer;
+        let net = Mlp::new(
+            vec![
+                Layer::Conv1d(Conv1dLayer::new(
+                    Matrix::from_vec(1, 2, vec![1.0, 1.0]),
+                    vec![],
+                    Activation::Identity,
+                    4,
+                )),
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0]),
+                    vec![],
+                    Activation::Identity,
+                )),
+            ],
+            vec![1.0, 1.0],
+            0.0,
+        );
+        // conv([1,2,3,4]) with kernel [1,1] = [3,5,7]; dense picks [3,7]; sum 10.
+        assert_eq!(net.forward(&[1.0, 2.0, 3.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn replicate_preserves_the_function() {
+        use crate::activation::Activation;
+        let net = Mlp::new(
+            vec![
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 2, vec![0.7, -0.3, 0.2, 0.9]),
+                    vec![0.1, -0.2],
+                    Activation::Sigmoid { k: 1.5 },
+                )),
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 2, vec![0.5, 0.4, -0.6, 0.3]),
+                    vec![0.0, 0.05],
+                    Activation::Tanh { k: 0.8 },
+                )),
+            ],
+            vec![0.8, -0.5],
+            0.1,
+        );
+        for m in [1usize, 2, 3, 5] {
+            let wide = net.replicate(m);
+            assert_eq!(wide.widths(), vec![2 * m, 2 * m]);
+            for x in [[0.2, 0.9], [0.0, 0.0], [1.0, 0.3]] {
+                let a = net.forward(&x);
+                let b = wide.forward(&x);
+                assert!((a - b).abs() < 1e-12, "m={m}, {a} vs {b}");
+            }
+            // Weight statistics transform as Corollary 1 requires: the
+            // propagation-relevant maxima shrink by 1/m.
+            if m > 1 {
+                match (&net.layers()[1], &wide.layers()[1]) {
+                    (Layer::Dense(orig), Layer::Dense(rep)) => {
+                        assert!(
+                            (rep.max_abs_weight_nonbias() * m as f64
+                                - orig.max_abs_weight_nonbias())
+                            .abs()
+                                < 1e-12
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+                assert!(
+                    (wide.output_max_abs_weight() * m as f64 - net.output_max_abs_weight())
+                        .abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not dense")]
+    fn replicate_rejects_conv_layers() {
+        use crate::conv::Conv1dLayer;
+        let net = Mlp::new(
+            vec![Layer::Conv1d(Conv1dLayer::new(
+                Matrix::from_vec(1, 2, vec![1.0, 1.0]),
+                vec![],
+                Activation::Identity,
+                4,
+            ))],
+            vec![1.0; 3],
+            0.0,
+        );
+        let _ = net.replicate(2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let net = linear_net();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+        assert_eq!(net.forward(&[0.3, -0.7]), back.forward(&[0.3, -0.7]));
+    }
+}

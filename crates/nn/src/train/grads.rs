@@ -1,0 +1,254 @@
+//! Gradient accumulators shaped like a network.
+
+use neurofail_tensor::Matrix;
+
+use crate::network::{Layer, Mlp, Workspace};
+
+/// Per-layer gradient buffers (weights + bias), matching a [`Layer`]'s
+/// parameter shapes (kernel-shaped for convolutional layers).
+#[derive(Debug, Clone)]
+pub struct LayerGrad {
+    /// Gradient of the weight matrix / kernel bank.
+    pub w: Matrix,
+    /// Gradient of the bias vector (empty for bias-free layers).
+    pub b: Vec<f64>,
+}
+
+/// Whole-network gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    /// One accumulator per layer.
+    pub layers: Vec<LayerGrad>,
+    /// Output-node weight gradients.
+    pub output: Vec<f64>,
+    /// Output-node bias gradient.
+    pub output_bias: f64,
+}
+
+impl Grads {
+    /// Zeroed gradients shaped like `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => LayerGrad {
+                    w: Matrix::zeros(d.weights().rows(), d.weights().cols()),
+                    b: vec![0.0; d.bias().len()],
+                },
+                Layer::Conv1d(c) => LayerGrad {
+                    w: Matrix::zeros(c.kernels().rows(), c.kernels().cols()),
+                    b: vec![0.0; c.bias.len()],
+                },
+            })
+            .collect();
+        Grads {
+            layers,
+            output: vec![0.0; net.output_weights().len()],
+            output_bias: 0.0,
+        }
+    }
+
+    /// Reset all buffers to zero.
+    pub fn zero(&mut self) {
+        for lg in &mut self.layers {
+            lg.w.data_mut().fill(0.0);
+            lg.b.fill(0.0);
+        }
+        self.output.fill(0.0);
+        self.output_bias = 0.0;
+    }
+
+    /// Scale all gradients by `s` (e.g. 1/batch).
+    pub fn scale(&mut self, s: f64) {
+        for lg in &mut self.layers {
+            for v in lg.w.data_mut() {
+                *v *= s;
+            }
+            for v in &mut lg.b {
+                *v *= s;
+            }
+        }
+        for v in &mut self.output {
+            *v *= s;
+        }
+        self.output_bias *= s;
+    }
+}
+
+/// Scratch buffers for backpropagation (one set per training thread).
+#[derive(Debug, Clone)]
+pub struct BackpropWs {
+    /// `dL/d(layer outputs)` per layer.
+    pub dout: Vec<Vec<f64>>,
+    /// `dL/d(pre-activation)` scratch per layer.
+    pub scratch: Vec<Vec<f64>>,
+}
+
+impl BackpropWs {
+    /// Allocate buffers shaped like `net`.
+    pub fn for_net(net: &Mlp) -> Self {
+        BackpropWs {
+            dout: net.layers().iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+            scratch: net.layers().iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+        }
+    }
+}
+
+/// Accumulate the squared-error gradient for one example into `grads`.
+/// Returns the example's squared error.
+pub fn accumulate_example(
+    net: &Mlp,
+    x: &[f64],
+    target: f64,
+    ws: &mut Workspace,
+    bws: &mut BackpropWs,
+    grads: &mut Grads,
+) -> f64 {
+    let pred = net.forward_ws(x, ws);
+    let err = pred - target;
+    let dloss = 2.0 * err;
+
+    // Output client node: F = Σ w_i y_i + b.
+    let nl = net.layers().len();
+    let last_out = &ws.outs[nl - 1];
+    for (g, &y) in grads.output.iter_mut().zip(last_out.iter()) {
+        *g += dloss * y;
+    }
+    grads.output_bias += dloss;
+    for (d, &w) in bws.dout[nl - 1].iter_mut().zip(net.output_weights()) {
+        *d = dloss * w;
+    }
+
+    // Hidden layers, right to left.
+    for l in (0..nl).rev() {
+        // Split dout so that dout[l] (read) and dout[l-1] (write) coexist.
+        let (dprev_slice, dcur_slice) = bws.dout.split_at_mut(l);
+        let dcur = &dcur_slice[0];
+        let empty: &mut [f64] = &mut [];
+        let dinput: &mut [f64] = if l == 0 {
+            empty
+        } else {
+            &mut dprev_slice[l - 1]
+        };
+        let input: &[f64] = if l == 0 { x } else { &ws.outs[l - 1] };
+        let lg = &mut grads.layers[l];
+        match &net.layers()[l] {
+            Layer::Dense(d) => d.backward(
+                input,
+                &ws.sums[l],
+                dcur,
+                &mut lg.w,
+                &mut lg.b,
+                &mut bws.scratch[l],
+                dinput,
+            ),
+            Layer::Conv1d(c) => c.backward(
+                input,
+                &ws.sums[l],
+                dcur,
+                &mut lg.w,
+                &mut lg.b,
+                &mut bws.scratch[l],
+                dinput,
+            ),
+        }
+    }
+    err * err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::builder::MlpBuilder;
+    use neurofail_tensor::init::Init;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mixed_net() -> Mlp {
+        let mut rng = SmallRng::seed_from_u64(21);
+        MlpBuilder::new(6)
+            .conv1d(2, 3, Activation::Sigmoid { k: 1.0 })
+            .dense(5, Activation::Tanh { k: 0.8 })
+            .init(Init::Xavier)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_through_whole_net() {
+        let net = mixed_net();
+        let x = [0.1, 0.9, 0.3, 0.7, 0.5, 0.2];
+        let target = 0.4;
+        let mut ws = Workspace::for_net(&net);
+        let mut bws = BackpropWs::for_net(&net);
+        let mut grads = Grads::zeros_like(&net);
+        let loss0 = accumulate_example(&net, &x, target, &mut ws, &mut bws, &mut grads);
+        assert!(loss0 >= 0.0);
+
+        let eval = |net: &Mlp| {
+            let e = net.forward(&x) - target;
+            e * e
+        };
+        let h = 1e-6;
+
+        // Output weights.
+        for i in 0..net.output_weights().len() {
+            let mut p = net.clone();
+            p.output_weights_mut()[i] += h;
+            let mut m = net.clone();
+            m.output_weights_mut()[i] -= h;
+            let fd = (eval(&p) - eval(&m)) / (2.0 * h);
+            assert!(
+                (grads.output[i] - fd).abs() < 1e-4,
+                "output[{i}]: {} vs {fd}",
+                grads.output[i]
+            );
+        }
+
+        // A sample of hidden weights in each layer.
+        for l in 0..net.layers().len() {
+            let (rows, cols) = match &net.layers()[l] {
+                Layer::Dense(d) => (d.weights().rows(), d.weights().cols()),
+                Layer::Conv1d(c) => (c.kernels().rows(), c.kernels().cols()),
+            };
+            for (r, c) in [(0, 0), (rows - 1, cols - 1), (rows / 2, cols / 2)] {
+                let bump = |net: &Mlp, delta: f64| {
+                    let mut n = net.clone();
+                    match &mut n.layers_mut()[l] {
+                        Layer::Dense(d) => {
+                            let v = d.weights().get(r, c);
+                            d.weights_mut().set(r, c, v + delta);
+                        }
+                        Layer::Conv1d(cv) => {
+                            let v = cv.kernels().get(r, c);
+                            cv.kernels.set(r, c, v + delta);
+                        }
+                    }
+                    n
+                };
+                let fd = (eval(&bump(&net, h)) - eval(&bump(&net, -h))) / (2.0 * h);
+                let got = grads.layers[l].w.get(r, c);
+                assert!((got - fd).abs() < 1e-4, "layer {l} w[{r}][{c}]: {got} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_scale() {
+        let net = mixed_net();
+        let mut grads = Grads::zeros_like(&net);
+        let x = [0.5; 6];
+        let mut ws = Workspace::for_net(&net);
+        let mut bws = BackpropWs::for_net(&net);
+        accumulate_example(&net, &x, 0.0, &mut ws, &mut bws, &mut grads);
+        let norm_before: f64 = grads.output.iter().map(|g| g.abs()).sum();
+        assert!(norm_before > 0.0);
+        grads.scale(0.5);
+        let norm_after: f64 = grads.output.iter().map(|g| g.abs()).sum();
+        assert!((norm_after - 0.5 * norm_before).abs() < 1e-12);
+        grads.zero();
+        assert!(grads.output.iter().all(|&g| g == 0.0));
+        assert_eq!(grads.output_bias, 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Training: backpropagation + stochastic gradient descent.
+//!
+//! The paper's footnote 8 recalls that the weights realising a neural
+//! ε'-approximation are found "during the learning phase, via the
+//! back-propagation algorithm" — so the workspace implements exactly that:
+//! plain SGD with optional momentum, L2 weight decay, and the *Fep-aware
+//! penalty* (the paper's concluding research direction: "a specific learning
+//! scheme taking the forward error propagation as an additional minimization
+//! target").
+//!
+//! Training here is a means, not the subject: the bounds are
+//! learning-scheme-independent (Section I), and experiments only need
+//! networks that genuinely reach a small ε' on the synthetic targets.
+
+pub mod grads;
+pub mod loss;
+pub mod penalty;
+pub mod sgd;
+
+pub use grads::Grads;
+pub use loss::Loss;
+pub use penalty::FepPenalty;
+pub use sgd::{train, TrainConfig, TrainReport};

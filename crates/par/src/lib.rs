@@ -1,0 +1,41 @@
+//! # neurofail-par
+//!
+//! A small, deterministic data-parallel runtime used by the `neurofail`
+//! workspace for fault-injection campaigns and input sweeps.
+//!
+//! The paper ("When Neurons Fail", El Mhamdi & Guerraoui, IPPS 2017) points
+//! out that *experimentally* assessing the robustness of a network "requires
+//! the costly experiment of looking at all the possible inputs and testing
+//! all the possible configurations of the network [...] facing a discouraging
+//! combinatorial explosion". The experimental half of this workspace attacks
+//! that explosion with Monte-Carlo sampling and adversarial search, both of
+//! which are embarrassingly parallel across `(injection plan, input)` pairs.
+//! This crate provides the parallel substrate:
+//!
+//! * [`Parallelism`] — a tiny execution policy (sequential or N worker
+//!   threads) carried by every campaign API in the workspace.
+//! * [`parallel_map`] / [`for_each_index`] / [`parallel_reduce`] — chunked,
+//!   order-preserving data-parallel combinators built on
+//!   `crossbeam::thread::scope` (no `'static` bound on closures or data).
+//! * [`seed::SeedSequence`] — deterministic per-task RNG seed derivation so
+//!   results are *identical* regardless of thread count or scheduling.
+//!
+//! Design notes (following the workspace HPC guides):
+//!
+//! * Work is claimed in chunks through a shared `AtomicUsize` cursor rather
+//!   than pre-partitioned, so stragglers (e.g. adversarial searches that
+//!   terminate early) do not idle whole threads.
+//! * Combinators avoid per-item allocation; outputs are written through
+//!   per-chunk buffers merged once at the end.
+//! * Everything is safe Rust; determinism is part of the contract and is
+//!   enforced by tests in this crate and property tests downstream.
+
+#![warn(missing_docs)]
+
+pub mod combinators;
+pub mod policy;
+pub mod seed;
+
+pub use combinators::{for_each_index, parallel_map, parallel_reduce, parallel_sum};
+pub use policy::Parallelism;
+pub use seed::SeedSequence;

@@ -1,0 +1,95 @@
+//! Execution policy: how much parallelism a campaign may use.
+
+/// Execution policy threaded through every parallel API in the workspace.
+///
+/// `Parallelism` is deliberately tiny: campaigns either run on the calling
+/// thread ([`Parallelism::Sequential`]) or on a fixed number of scoped worker
+/// threads ([`Parallelism::Threads`]). Results are bit-identical across
+/// policies; only wall-clock time changes (this is asserted by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run on the calling thread. The default: cheap, deterministic,
+    /// debugger-friendly.
+    Sequential,
+    /// Run on `n` scoped worker threads (`n >= 1`). `Threads(1)` spawns a
+    /// single worker and is mainly useful for testing the parallel path.
+    Threads(usize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Sequential
+    }
+}
+
+impl Parallelism {
+    /// Policy using all available CPUs as reported by the OS (at least 1).
+    pub fn all_cores() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Parallelism::Threads(n)
+    }
+
+    /// Number of worker threads this policy will use (1 for sequential).
+    pub fn worker_count(&self) -> usize {
+        match *self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Whether work runs on the calling thread only.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, Parallelism::Sequential) || self.worker_count() == 1
+    }
+
+    /// Chunk size used when `items` work items are distributed over this
+    /// policy's workers. Aims for ~4 chunks per worker so that uneven task
+    /// durations (common in adversarial search) still balance, while keeping
+    /// cursor contention negligible.
+    pub fn chunk_size(&self, items: usize) -> usize {
+        let workers = self.worker_count();
+        let target_chunks = workers * 4;
+        (items / target_chunks.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(Parallelism::default(), Parallelism::Sequential);
+        assert!(Parallelism::default().is_sequential());
+        assert_eq!(Parallelism::Sequential.worker_count(), 1);
+    }
+
+    #[test]
+    fn threads_worker_count_clamped_to_one() {
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert_eq!(Parallelism::Threads(8).worker_count(), 8);
+    }
+
+    #[test]
+    fn all_cores_is_at_least_one() {
+        assert!(Parallelism::all_cores().worker_count() >= 1);
+    }
+
+    #[test]
+    fn chunk_size_balances_work() {
+        let p = Parallelism::Threads(4);
+        // 4 workers * 4 chunks each = 16 target chunks for 1600 items.
+        assert_eq!(p.chunk_size(1600), 100);
+        // Never zero, even for tiny inputs.
+        assert_eq!(p.chunk_size(0), 1);
+        assert_eq!(p.chunk_size(3), 1);
+    }
+
+    #[test]
+    fn single_thread_is_sequential_fast_path() {
+        assert!(Parallelism::Threads(1).is_sequential());
+        assert!(!Parallelism::Threads(2).is_sequential());
+    }
+}

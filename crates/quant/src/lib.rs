@@ -1,0 +1,27 @@
+//! # neurofail-quant
+//!
+//! Reduced-precision simulation for the `neurofail` workspace — the
+//! experimental engine behind Theorem 5 (Section V-A: "Reducing Memory
+//! Cost"):
+//!
+//! * [`fixed`] — symmetric fixed-point formats with exact `step/2` error
+//!   bounds (the `λ` that Theorem 5 propagates).
+//! * [`network`] — quantised execution: activation storage reduction (the
+//!   theorem's post-activation locus) and offline weight rounding (the
+//!   pre-activation locus), with per-layer `λ_l` extractors.
+//! * [`memory`] — the bits-versus-baseline cost model (the Proteus [31]
+//!   trade-off's x-axis).
+//! * [`sweep`] — the measured-vs-bound-vs-memory sweep that regenerates
+//!   experiment E9.
+
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod memory;
+pub mod network;
+pub mod sweep;
+
+pub use fixed::FixedPoint;
+pub use memory::{memory_report, MemoryReport};
+pub use network::{forward_quantized, quantization_error, quantize_weights};
+pub use sweep::{precision_sweep, SweepRow};

@@ -1,0 +1,204 @@
+//! Quantised network execution — the experimental side of Theorem 5.
+//!
+//! Two reduction strategies, matching the two loci of
+//! `neurofail-core::precision`:
+//!
+//! * **Activation quantisation** ([`forward_quantized`]): every neuron's
+//!   *output* is stored at reduced precision, so each layer contributes an
+//!   output-level error `λ_l ≤ step/2` — exactly Theorem 5's
+//!   `PostActivation` statement.
+//! * **Weight quantisation** ([`quantize_weights`]): weights are rounded
+//!   once, offline. A layer's received sum is then off by at most
+//!   `fan_in · (step/2) · sup|y|`, squashed by `K_l` — the `PreActivation`
+//!   locus with [`weight_lambdas`] giving the per-layer `λ_l`.
+
+use neurofail_core::profile::NetworkProfile;
+use neurofail_nn::network::Layer;
+use neurofail_nn::{Mlp, Tap, Workspace};
+
+use crate::fixed::FixedPoint;
+
+/// Tap quantising every layer's outputs (activation storage reduction).
+#[derive(Debug, Clone, Copy)]
+pub struct ActivationQuantTap {
+    /// The storage format.
+    pub format: FixedPoint,
+}
+
+impl Tap for ActivationQuantTap {
+    fn post_activation(&mut self, _layer: usize, outputs: &mut [f64]) {
+        self.format.quantize_slice(outputs);
+    }
+}
+
+/// Forward pass with all activations stored in `format`.
+pub fn forward_quantized(net: &Mlp, x: &[f64], format: FixedPoint, ws: &mut Workspace) -> f64 {
+    let mut tap = ActivationQuantTap { format };
+    net.forward_tapped(x, ws, &mut tap)
+}
+
+/// `|F_neu(x) − F_quant(x)|` for activation quantisation.
+pub fn quantization_error(net: &Mlp, x: &[f64], format: FixedPoint, ws: &mut Workspace) -> f64 {
+    let nominal = net.forward_ws(x, ws);
+    let quantized = forward_quantized(net, x, format, ws);
+    (nominal - quantized).abs()
+}
+
+/// The per-layer `λ_l` for activation quantisation: `step/2` everywhere
+/// (every neuron's stored output is off by at most half a step).
+pub fn activation_lambdas(depth: usize, format: FixedPoint) -> Vec<f64> {
+    vec![format.max_error(); depth]
+}
+
+/// A copy of `net` with all weights (hidden, bias, output) rounded to
+/// `format` — offline weight-memory reduction.
+pub fn quantize_weights(net: &Mlp, format: FixedPoint) -> Mlp {
+    let mut q = net.clone();
+    for layer in q.layers_mut() {
+        match layer {
+            Layer::Dense(d) => {
+                for w in d.weights_mut().data_mut() {
+                    *w = format.quantize(*w);
+                }
+            }
+            Layer::Conv1d(c) => {
+                for w in c.kernels_mut().data_mut() {
+                    *w = format.quantize(*w);
+                }
+            }
+        }
+    }
+    for w in q.output_weights_mut() {
+        *w = format.quantize(*w);
+    }
+    q
+}
+
+/// Per-layer output-error magnitudes `λ_l` induced by weight quantisation:
+/// a neuron of layer `l` receives a sum off by ≤ `fan_in · (step/2) · sup|y|`
+/// (every incoming weight moved by ≤ step/2; activations are bounded by
+/// `sup ϕ`, inputs by 1), squashed by `K_l`.
+///
+/// Note: this covers the hidden layers; the output node's own weight error
+/// (`N_L · step/2 · sup ϕ`) must be added separately — see
+/// [`weight_output_term`].
+pub fn weight_lambdas(profile: &NetworkProfile, fan_ins: &[usize], format: FixedPoint) -> Vec<f64> {
+    assert_eq!(fan_ins.len(), profile.depth(), "need one fan-in per layer");
+    profile
+        .layers
+        .iter()
+        .zip(fan_ins)
+        .map(|(l, &fan_in)| l.k * fan_in as f64 * format.max_error() * profile.sup_activation)
+        .collect()
+}
+
+/// The output node's direct error from quantised output weights.
+pub fn weight_output_term(profile: &NetworkProfile, format: FixedPoint) -> f64 {
+    let n_last = profile.layers.last().map(|l| l.n).unwrap_or(0);
+    n_last as f64 * format.max_error() * profile.sup_activation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_core::precision::{precision_bound, ErrorLocus};
+    use neurofail_core::Capacity;
+    use neurofail_data::rng::rng;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::builder::MlpBuilder;
+    use neurofail_tensor::init::Init;
+
+    fn net() -> Mlp {
+        MlpBuilder::new(3)
+            .dense(10, Activation::Sigmoid { k: 1.0 })
+            .dense(6, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Uniform { a: 0.4 })
+            .bias(false)
+            .build(&mut rng(120))
+    }
+
+    #[test]
+    fn activation_quantisation_error_is_bounded_by_theorem5() {
+        let net = net();
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let mut ws = Workspace::for_net(&net);
+        for bits in [2, 4, 6, 8, 12] {
+            let format = FixedPoint::unit(bits);
+            let lambdas = activation_lambdas(net.depth(), format);
+            let bound = precision_bound(&profile, &lambdas, ErrorLocus::PostActivation);
+            let mut worst = 0.0f64;
+            for i in 0..50 {
+                let t = i as f64 / 49.0;
+                let x = [t, 1.0 - t, 0.5 * t];
+                worst = worst.max(quantization_error(&net, &x, format, &mut ws));
+            }
+            assert!(
+                worst <= bound,
+                "{bits} bits: measured {worst} exceeds bound {bound}"
+            );
+            assert!(worst > 0.0 || bits >= 12, "{bits} bits should perturb");
+        }
+    }
+
+    #[test]
+    fn more_bits_never_hurt_the_bound() {
+        let net = net();
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let mut prev = f64::INFINITY;
+        for bits in 1..14 {
+            let lambdas = activation_lambdas(net.depth(), FixedPoint::unit(bits));
+            let bound = precision_bound(&profile, &lambdas, ErrorLocus::PostActivation);
+            assert!(bound < prev);
+            prev = bound;
+        }
+    }
+
+    #[test]
+    fn weight_quantisation_error_is_bounded() {
+        let net = net();
+        let format = FixedPoint::unit(6);
+        let qnet = quantize_weights(&net, format);
+        // Every weight moved by at most step/2.
+        for (l, ql) in net.layers().iter().zip(qnet.layers()) {
+            for j in 0..l.out_dim() {
+                for i in 0..l.in_dim() {
+                    assert!((l.weight(j, i) - ql.weight(j, i)).abs() <= format.max_error() + 1e-15);
+                }
+            }
+        }
+        // Empirical output error ≤ Theorem-5-style bound (pre-activation
+        // lambdas) + the output node's own term.
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let fan_ins: Vec<usize> = net.layers().iter().map(|l| l.in_dim()).collect();
+        // weight_lambdas already includes the K factor: use PostActivation.
+        let lambdas = weight_lambdas(&profile, &fan_ins, format);
+        let bound = precision_bound(&profile, &lambdas, ErrorLocus::PostActivation)
+            + weight_output_term(&profile, format);
+        let mut ws = Workspace::for_net(&net);
+        let mut worst = 0.0f64;
+        for i in 0..50 {
+            let t = i as f64 / 49.0;
+            let x = [t, 1.0 - t, (2.0 * t - 1.0).abs()];
+            let e = (net.forward_ws(&x, &mut ws) - qnet.forward(&x)).abs();
+            worst = worst.max(e);
+        }
+        assert!(worst <= bound, "measured {worst} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn quantized_net_weights_are_representable() {
+        let net = net();
+        let format = FixedPoint::unit(4);
+        let qnet = quantize_weights(&net, format);
+        let step = format.step();
+        for l in qnet.layers() {
+            for j in 0..l.out_dim() {
+                for i in 0..l.in_dim() {
+                    let w = l.weight(j, i);
+                    let ticks = w / step;
+                    assert!((ticks - ticks.round()).abs() < 1e-9, "{w} not on grid");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Weight initialisation schemes.
+//!
+//! The paper's bounds depend on the max weight norm `w_m`, so experiments
+//! need control over the initial weight scale: both classic variance-scaled
+//! schemes (for trainable networks) and explicit uniform ranges (for the
+//! synthetic worst-case constructions in tightness tests).
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Initialisation scheme for a weight matrix of shape `fan_out × fan_in`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Every weight drawn uniformly from `[-a, a]`.
+    Uniform {
+        /// Half-width of the range; `w_m ≤ a` by construction.
+        a: f64,
+    },
+    /// Glorot/Xavier uniform: `a = sqrt(6 / (fan_in + fan_out))`. Suits the
+    /// paper's sigmoid/tanh squashing functions.
+    Xavier,
+    /// He/Kaiming uniform: `a = sqrt(6 / fan_in)`; suits ReLU-family
+    /// activations (provided for the non-squashing comparison experiments).
+    He,
+    /// Every weight set to the same constant (used in closed-form tests,
+    /// where `w_m` must be known exactly).
+    Constant(
+        /// The weight value.
+        f64,
+    ),
+}
+
+impl Init {
+    /// Half-width of the sampling range for the given fan-in/out
+    /// (`0` for [`Init::Constant`]).
+    pub fn range(&self, fan_in: usize, fan_out: usize) -> f64 {
+        match *self {
+            Init::Uniform { a } => a,
+            Init::Xavier => (6.0 / (fan_in + fan_out) as f64).sqrt(),
+            Init::He => (6.0 / fan_in.max(1) as f64).sqrt(),
+            Init::Constant(_) => 0.0,
+        }
+    }
+
+    /// Sample a `fan_out × fan_in` weight matrix.
+    pub fn matrix(&self, fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Matrix {
+        match *self {
+            Init::Constant(c) => Matrix::from_fn(fan_out, fan_in, |_, _| c),
+            _ => {
+                let a = self.range(fan_in, fan_out);
+                Matrix::from_fn(fan_out, fan_in, |_, _| {
+                    if a == 0.0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-a..=a)
+                    }
+                })
+            }
+        }
+    }
+
+    /// Sample a bias vector of length `fan_out` (uniform in ±range/4 for the
+    /// stochastic schemes — small biases keep sigmoid units responsive).
+    pub fn bias(&self, fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Vec<f64> {
+        match *self {
+            Init::Constant(c) => vec![c; fan_out],
+            _ => {
+                let a = self.range(fan_in, fan_out) / 4.0;
+                (0..fan_out)
+                    .map(|_| if a == 0.0 { 0.0 } else { rng.gen_range(-a..=a) })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_wm_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = Init::Uniform { a: 0.3 }.matrix(16, 24, &mut rng);
+        assert!(m.max_abs() <= 0.3);
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_range_formula() {
+        let a = Init::Xavier.range(100, 50);
+        assert!((a - (6.0f64 / 150.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn he_range_formula() {
+        let a = Init::He.range(24, 999);
+        assert!((a - 0.5) < 1e-12);
+    }
+
+    #[test]
+    fn constant_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = Init::Constant(0.125).matrix(3, 4, &mut rng);
+        assert!(m.data().iter().all(|&w| w == 0.125));
+        assert_eq!(Init::Constant(0.5).bias(3, 4, &mut rng), vec![0.5; 3]);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = Init::Xavier.matrix(8, 8, &mut SmallRng::seed_from_u64(7));
+        let b = Init::Xavier.matrix(8, 8, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+//! # neurofail-tensor
+//!
+//! Dense linear algebra for the `neurofail` workspace: a row-major [`Matrix`]
+//! with cache-friendly matrix–vector kernels, numerically stable slice
+//! reductions, weight initialisers, and online statistics.
+//!
+//! Everything is `f64`. The workloads in this workspace are inference over
+//! small/medium multilayer perceptrons (the paper's model) plus large
+//! Monte-Carlo campaigns *around* them, so the kernels optimise for:
+//!
+//! * `gemv`-shaped traffic (forward passes dominate; row-major layout makes
+//!   `y = W·x` a sequence of contiguous dot products),
+//! * stable accumulation ([`ops::kahan_sum`], [`ops::dot`] with unrolled
+//!   independent accumulators) because the paper's bounds are compared
+//!   against measured errors near the 1e-12 scale in tightness tests,
+//! * zero-allocation in hot loops (`gemv_into`-style APIs throughout).
+//!
+//! No external BLAS: the workspace builds every substrate from scratch.
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use stats::{OnlineStats, Summary};

@@ -1,0 +1,359 @@
+//! Row-major dense matrix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops;
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// Row-major layout is chosen because the dominant operation in this
+/// workspace is the forward pass `y = W · x` (weights-times-activations,
+/// paper Eq. 3), which row-major turns into `rows` contiguous dot products —
+/// one cache-friendly streaming read per output neuron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    /// If out of range (via slice indexing).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// `y = self · x` writing into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    /// If `x.len() != cols` or `y.len() != rows`.
+    pub fn gemv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "gemv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "gemv: y length mismatch");
+        for (yi, row) in y.iter_mut().zip(self.rows_iter()) {
+            *yi = ops::dot(row, x);
+        }
+    }
+
+    /// `self · x`, allocating the result.
+    pub fn gemv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.gemv_into(x, &mut y);
+        y
+    }
+
+    /// `y = selfᵀ · x` without materialising the transpose (column traversal
+    /// expressed as row-major axpy sweeps — needed by backpropagation).
+    ///
+    /// # Panics
+    /// If `x.len() != rows` or `y.len() != cols`.
+    pub fn gemv_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "gemv_t: x length mismatch");
+        assert_eq!(y.len(), self.cols, "gemv_t: y length mismatch");
+        y.fill(0.0);
+        for (xi, row) in x.iter().zip(self.rows_iter()) {
+            ops::axpy(*xi, row, y);
+        }
+    }
+
+    /// `selfᵀ · x`, allocating the result.
+    pub fn gemv_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.cols];
+        self.gemv_t_into(x, &mut y);
+        y
+    }
+
+    /// Rank-one update `self += alpha · a · bᵀ` (outer product accumulate,
+    /// the weight-gradient update of backpropagation).
+    ///
+    /// # Panics
+    /// If `a.len() != rows` or `b.len() != cols`.
+    pub fn ger(&mut self, alpha: f64, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), self.rows, "ger: a length mismatch");
+        assert_eq!(b.len(), self.cols, "ger: b length mismatch");
+        for (ai, row) in a.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+            ops::axpy(alpha * ai, b, row);
+        }
+    }
+
+    /// Matrix product `self · rhs` (blocked over the shared dimension for
+    /// cache reuse; used by tests and the convolutional im2col path, not by
+    /// the inference hot loop).
+    ///
+    /// # Panics
+    /// If `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        const BLOCK: usize = 64;
+        for kb in (0..self.cols).step_by(BLOCK) {
+            let kend = (kb + BLOCK).min(self.cols);
+            for r in 0..self.rows {
+                let a_row = self.row(r);
+                let out_row = out.row_mut(r);
+                for k in kb..kend {
+                    let a = a_row[k];
+                    if a != 0.0 {
+                        ops::axpy(a, rhs.row(k), out_row);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry — the paper's `w_m` statistic for a weight
+    /// matrix (max norm of the incoming synaptic weights).
+    pub fn max_abs(&self) -> f64 {
+        ops::max_abs(&self.data)
+    }
+
+    /// Maximum absolute entry over a subset of columns. Used by the
+    /// convolutional bound of Section VI, where `w_m` ranges only over the
+    /// receptive-field (shared kernel) weights.
+    pub fn max_abs_cols(&self, cols: impl Iterator<Item = usize> + Clone) -> f64 {
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for c in cols.clone() {
+                m = m.max(row[c].abs());
+            }
+        }
+        m
+    }
+
+    /// Transpose (allocating; used in tests and data prep only).
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        ops::norm2(&self.data)
+    }
+
+    /// Apply `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mut m = small();
+        assert_eq!(m.get(1, 2), 6.0);
+        m.set(1, 2, -1.0);
+        assert_eq!(m.get(1, 2), -1.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let y = small().gemv(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose_gemv() {
+        let m = small();
+        let x = [2.0, -1.0];
+        assert_eq!(m.gemv_t(&x), m.transpose().gemv(&x));
+    }
+
+    #[test]
+    fn identity_is_gemv_neutral() {
+        let x = vec![3.0, -4.0, 5.0];
+        assert_eq!(Matrix::identity(3).gemv(&x), x);
+    }
+
+    #[test]
+    fn ger_accumulates_outer_product() {
+        let mut m = Matrix::zeros(2, 2);
+        m.ger(2.0, &[1.0, 3.0], &[5.0, 7.0]);
+        assert_eq!(m.data(), &[10.0, 14.0, 30.0, 42.0]);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_neutral() {
+        let a = small();
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn max_abs_and_cols_subset() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, -9.0, 3.0, 4.0, 5.0, -6.0]);
+        assert_eq!(m.max_abs(), 9.0);
+        assert_eq!(m.max_abs_cols([0usize, 2].into_iter()), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let _ = small().matmul(&small());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = small();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_associates_with_gemv(
+            data_a in proptest::collection::vec(-3.0f64..3.0, 12),
+            data_b in proptest::collection::vec(-3.0f64..3.0, 20),
+            x in proptest::collection::vec(-3.0f64..3.0, 5),
+        ) {
+            // (A·B)·x == A·(B·x), 3x4 · 4x5 · 5
+            let a = Matrix::from_vec(3, 4, data_a);
+            let b = Matrix::from_vec(4, 5, data_b);
+            let lhs = a.matmul(&b).gemv(&x);
+            let rhs = a.gemv(&b.gemv(&x));
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn transpose_is_involutive(
+            data in proptest::collection::vec(-10.0f64..10.0, 24),
+        ) {
+            let m = Matrix::from_vec(4, 6, data);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn gemv_linearity(
+            data in proptest::collection::vec(-2.0f64..2.0, 12),
+            x in proptest::collection::vec(-2.0f64..2.0, 4),
+            alpha in -3.0f64..3.0,
+        ) {
+            let m = Matrix::from_vec(3, 4, data);
+            let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+            let lhs = m.gemv(&scaled);
+            let rhs: Vec<f64> = m.gemv(&x).iter().map(|v| alpha * v).collect();
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

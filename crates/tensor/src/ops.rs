@@ -1,0 +1,240 @@
+//! Numerically careful reductions and elementwise kernels over `&[f64]`.
+//!
+//! These free functions are the inner loops of every forward pass, bound
+//! evaluation and campaign statistic in the workspace, so they are written
+//! for the optimiser: fixed-stride slices, independent accumulators to break
+//! dependency chains, and no bounds checks after the initial length asserts.
+
+/// Dot product with four independent accumulators.
+///
+/// Splitting the accumulation breaks the floating-point add dependency chain
+/// (letting the CPU pipeline/vectorise) and, as a side effect, reduces
+/// worst-case rounding error versus a single serial accumulator.
+///
+/// # Panics
+/// If `a.len() != b.len()`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        // Safety in safe Rust: indices j..j+4 are < chunks*4 <= len.
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s2) + (s1 + s3) + tail
+}
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+/// If `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a slice in place: `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Neumaier-compensated sum: exact to ~1 ulp of the condition of the sum.
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            c += (sum - t) + x;
+        } else {
+            c += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Maximum absolute value (`0.0` for an empty slice).
+///
+/// This is the `w_m` statistic of the paper: the max norm of the weights of
+/// the synapses entering a layer.
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// `ℓ∞` distance between two slices.
+///
+/// # Panics
+/// If lengths differ.
+pub fn sup_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sup_dist: length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// Euclidean norm, scaled to avoid overflow for large magnitudes.
+pub fn norm2(xs: &[f64]) -> f64 {
+    let m = max_abs(xs);
+    if m == 0.0 || !m.is_finite() {
+        return m;
+    }
+    let mut s = 0.0;
+    for &x in xs {
+        let r = x / m;
+        s += r * r;
+    }
+    m * s.sqrt()
+}
+
+/// Mean of a slice (`0.0` for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        kahan_sum(xs) / xs.len() as f64
+    }
+}
+
+/// Elementwise `out[i] = f(a[i])`, reusing `out`'s allocation.
+///
+/// # Panics
+/// If `a.len() != out.len()`.
+pub fn map_into(a: &[f64], out: &mut [f64], f: impl Fn(f64) -> f64) {
+    assert_eq!(a.len(), out.len(), "map_into: length mismatch");
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = f(x);
+    }
+}
+
+/// Clamp every element of `x` into `[-c, c]`.
+///
+/// Models the paper's Assumption 1 (bounded synaptic transmission capacity):
+/// whatever a Byzantine neuron emits, the synapse delivers at most `c` in
+/// absolute value.
+pub fn clamp_abs(x: &mut [f64], c: f64) {
+    debug_assert!(c >= 0.0);
+    for xi in x {
+        *xi = xi.clamp(-c, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        // Length 5 exercises the tail loop.
+        assert_eq!(dot(&[1.0; 5], &[2.0; 5]), 10.0);
+        // Length 8 exercises the unrolled body only.
+        assert_eq!(dot(&[1.0; 8], &[3.0; 8]), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn kahan_recovers_cancellation() {
+        // 1 + 1e100 - 1e100 = 1 exactly under compensation.
+        assert_eq!(kahan_sum(&[1.0, 1e100, 1.0, -1e100]), 2.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_and_sup_dist() {
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+        assert_eq!(max_abs(&[]), 0.0);
+        assert_eq!(sup_dist(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn norm2_avoids_overflow() {
+        let v = [1e200, 1e200];
+        assert!((norm2(&v) - 2f64.sqrt() * 1e200).abs() < 1e190);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn clamp_abs_enforces_capacity() {
+        let mut v = [5.0, -7.0, 0.5];
+        clamp_abs(&mut v, 2.0);
+        assert_eq!(v, [2.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        assert_eq!(mean(&[2.0; 17]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_commutative(a in proptest::collection::vec(-1e3f64..1e3, 0..64)) {
+            let b: Vec<f64> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+            let ab = dot(&a, &b);
+            let ba = dot(&b, &a);
+            prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+        }
+
+        #[test]
+        fn dot_matches_naive(a in proptest::collection::vec(-1e3f64..1e3, 0..64)) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            prop_assert!((dot(&a, &b) - naive).abs() <= 1e-6 * naive.abs().max(1.0));
+        }
+
+        #[test]
+        fn kahan_matches_naive_on_benign_data(xs in proptest::collection::vec(-1e3f64..1e3, 0..128)) {
+            let naive: f64 = xs.iter().sum();
+            prop_assert!((kahan_sum(&xs) - naive).abs() <= 1e-6);
+        }
+
+        #[test]
+        fn clamp_abs_is_idempotent_and_bounded(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 0..32),
+            c in 0.0f64..100.0,
+        ) {
+            clamp_abs(&mut xs, c);
+            prop_assert!(xs.iter().all(|x| x.abs() <= c));
+            let snapshot = xs.clone();
+            clamp_abs(&mut xs, c);
+            prop_assert_eq!(xs, snapshot);
+        }
+
+        #[test]
+        fn sup_dist_triangle(
+            a in proptest::collection::vec(-10f64..10.0, 1..16),
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+            let c: Vec<f64> = a.iter().map(|x| x - 2.0).collect();
+            prop_assert!(sup_dist(&a, &c) <= sup_dist(&a, &b) + sup_dist(&b, &c) + 1e-12);
+        }
+    }
+}

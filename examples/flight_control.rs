@@ -1,0 +1,87 @@
+//! Flight control under neuron crashes — the paper's first motivating
+//! application ([8]): a pitch-axis command surface approximated by a
+//! network that must keep flying through failures, with **no** recovery
+//! learning at run time.
+//!
+//! ```sh
+//! cargo run --release --example flight_control
+//! ```
+
+use neurofail::core::{boosting, crash_fep, Capacity, EpsilonBudget, NetworkProfile};
+use neurofail::data::control::PitchController;
+use neurofail::data::{rng::rng, Dataset, TargetFn};
+use neurofail::inject::adversary::{adversarial_input, worst_crash_plan};
+use neurofail::inject::input_search::SearchConfig;
+use neurofail::inject::CompiledPlan;
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::train::{train, TrainConfig};
+use neurofail::tensor::init::Init;
+
+fn main() {
+    // The control law F(alpha, q, V) and its neural approximation.
+    let law = PitchController::default();
+    let mut r = rng(7);
+    let data = Dataset::sample(&law, 512, &mut r);
+    let mut net = MlpBuilder::new(3)
+        .dense(16, Activation::Sigmoid { k: 1.0 })
+        .dense(10, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    train(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 300,
+            ..TrainConfig::default()
+        },
+        &mut r,
+    );
+    let eps_prime = neurofail::nn::metrics::sup_error_halton(&net, &law, 512);
+    // Certification budget: the autopilot tolerates command errors up to
+    // eps (normalised units) before the inner loop destabilises.
+    let eps = eps_prime + 0.08;
+    println!("controller approximation: eps' = {eps_prime:.4}, required eps = {eps:.4}");
+
+    // Deploy over-provisioned (8x replication) — the paper's robustness
+    // budget is bought with hardware, not with runtime re-learning.
+    let deployed = net.replicate(8);
+    let profile = NetworkProfile::from_mlp(&deployed, Capacity::Bounded(1.0)).unwrap();
+    let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
+
+    // Worst-case analysis: how bad can f crashed neurons be, over ALL
+    // inputs in the flight envelope and ALL crash sites?
+    println!("\n f | crash-Fep bound | adversarial measured | within eps?");
+    for fails in [1usize, 2, 4, 8] {
+        let mut faults = vec![0usize; deployed.depth()];
+        faults[deployed.depth() - 1] = fails;
+        let bound = crash_fep(&profile, &faults);
+        let plan = worst_crash_plan(&deployed, deployed.depth() - 1, fails);
+        let compiled = CompiledPlan::compile(&plan, &deployed, 1.0).unwrap();
+        let (worst, at) = adversarial_input(
+            &deployed,
+            &compiled,
+            &SearchConfig::default(),
+            &mut rng(13),
+        );
+        println!(
+            "{fails:>2} | {bound:>15.5} | {worst:>20.5} | {} (worst at alpha={:.2}, q={:.2}, V={:.2})",
+            if eps_prime + worst <= eps { "yes" } else { "NO" },
+            at[0],
+            at[1],
+            at[2]
+        );
+        assert!(worst <= bound, "bound violated");
+    }
+
+    // Corollary 2: the inner loop runs at a fixed rate — stragglers are
+    // reset rather than awaited. How many signals may each stage skip?
+    let table = boosting::admissible_quorums(&profile, budget);
+    println!(
+        "\nboosting (Cor. 2): may skip {:?} of {:?} neurons per layer and still command within eps",
+        table.faults,
+        deployed.widths()
+    );
+    let sample = law.eval(&[0.7, 0.6, 0.4]);
+    println!("sample command at (0.7, 0.6, 0.4): law {sample:.4}, network {:.4}", deployed.forward(&[0.7, 0.6, 0.4]));
+}

@@ -1,0 +1,80 @@
+//! Neuromorphic deployment: trading memory (and therefore energy) for
+//! accuracy under Theorem 5 — the paper's Section V-A application, in the
+//! setting of its neuromorphic motivation ([18], [19]: milliwatt-scale
+//! convolutional inference).
+//!
+//! ```sh
+//! cargo run --release --example neuromorphic_power
+//! ```
+
+use neurofail::core::precision::{max_uniform_lambda, ErrorLocus};
+use neurofail::core::{Capacity, NetworkProfile};
+use neurofail::data::digits::{dataset, DigitTask, DIM};
+use neurofail::data::grid::halton_points;
+use neurofail::data::rng::rng;
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::train::{train, TrainConfig};
+use neurofail::quant::{memory_report, precision_sweep, FixedPoint};
+use neurofail::tensor::init::Init;
+
+fn main() {
+    // A 35-input digit recogniser ("is this glyph a 7?").
+    let mut r = rng(3);
+    let data = dataset(DigitTask::IsDigit(7), 600, 0.05, &mut r);
+    let mut net = MlpBuilder::new(DIM)
+        .dense(24, Activation::Sigmoid { k: 1.0 })
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    let report = train(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 120,
+            ..TrainConfig::default()
+        },
+        &mut r,
+    );
+    // Classification accuracy at threshold 0.5.
+    let acc = data
+        .iter()
+        .filter(|(x, y)| (net.forward(x) > 0.5) == (*y > 0.5))
+        .count() as f64
+        / data.len() as f64;
+    println!(
+        "digit-7 recogniser: final mse {:.2e}, train accuracy {:.1}%",
+        report.final_mse(),
+        100.0 * acc
+    );
+
+    // The precision sweep: measured degradation vs the Theorem-5 bound vs
+    // memory (the Proteus trade-off).
+    let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+    let inputs = halton_points(DIM, 64);
+    println!("\nbits | measured degradation | Thm-5 bound | memory vs f64");
+    for row in precision_sweep(&net, &profile, &inputs, &[4, 6, 8, 10, 12]) {
+        println!(
+            "{:>4} | {:>20.6} | {:>11.6} | {:>12.1}%",
+            row.bits,
+            row.measured,
+            row.bound,
+            100.0 * row.memory_ratio
+        );
+        assert!(row.measured <= row.bound);
+    }
+
+    // Hardware sizing, inverted: given a degradation budget of 0.05, what
+    // per-neuron error — hence what bit width — suffices?
+    let lambda = max_uniform_lambda(&profile, 0.05, ErrorLocus::PostActivation);
+    // step/2 <= lambda  =>  frac_bits >= log2(1 / (2 lambda)).
+    let bits_needed = (1.0 / (2.0 * lambda)).log2().ceil().max(1.0) as u32;
+    let fmt = FixedPoint::unit(bits_needed);
+    let mem = memory_report(&net, fmt.bits(), fmt.bits());
+    println!(
+        "\nfor degradation <= 0.05: per-neuron error lambda <= {lambda:.2e} -> {} fractional bits -> {:.1}% of f64 memory ({:.1}% saved)",
+        bits_needed,
+        100.0 * mem.ratio(),
+        mem.savings_percent()
+    );
+}

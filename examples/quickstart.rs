@@ -1,0 +1,74 @@
+//! Quickstart: train a network, extract its profile, certify its
+//! robustness, and confirm the certificate by fault injection.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neurofail::core::{certify, Capacity, EpsilonBudget, NetworkProfile};
+use neurofail::data::{functions::Ridge, rng::rng, Dataset};
+use neurofail::inject::{run_campaign, CampaignConfig, FaultSpec, TrialKind};
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::train::{train, TrainConfig};
+use neurofail::par::Parallelism;
+use neurofail::tensor::init::Init;
+
+fn main() {
+    // 1. A continuous target F : [0,1]^2 -> [0,1] and a training set.
+    let target = Ridge::canonical(2);
+    let mut r = rng(42);
+    let data = Dataset::sample(&target, 256, &mut r);
+
+    // 2. Train a 2-12-8 sigmoid network (the paper's Section II model).
+    let mut net = MlpBuilder::new(2)
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .dense(8, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    let report = train(&mut net, &data, &TrainConfig::default(), &mut r);
+    let eps_prime = neurofail::nn::metrics::sup_error_halton(&net, &target, 256);
+    println!(
+        "trained: final mse {:.2e}, eps' (sup error) = {eps_prime:.4}",
+        report.final_mse()
+    );
+
+    // 3. Over-provision by Corollary-1 replication: same function, 16x the
+    //    neurons, 1/16 the propagation weights.
+    let wide = net.replicate(16);
+    println!(
+        "replicated 16x: widths {:?} (function preserved exactly)",
+        wide.widths()
+    );
+
+    // 4. Certify: how many crash / Byzantine / synapse failures fit in the
+    //    slack eps - eps'?
+    let profile = NetworkProfile::from_mlp(&wide, Capacity::Bounded(1.0)).unwrap();
+    let budget = EpsilonBudget::new(eps_prime + 0.1, eps_prime).unwrap();
+    let cert = certify(&profile, budget);
+    println!("{cert}");
+
+    // 5. Confirm the crash certificate empirically: inject the packed
+    //    distribution at random sites/inputs and measure the worst output
+    //    disturbance.
+    let res = run_campaign(
+        &wide,
+        &cert.crash_packed,
+        TrialKind::Neurons(FaultSpec::Crash),
+        &CampaignConfig {
+            trials: 100,
+            inputs_per_trial: 16,
+            ..CampaignConfig::default()
+        },
+        Parallelism::all_cores(),
+    );
+    println!(
+        "crash campaign over {:?}: worst |F_neu - F_fail| = {:.5} <= slack {:.5}  ({} evaluations)",
+        cert.crash_packed,
+        res.max_error(),
+        budget.slack(),
+        res.evaluations
+    );
+    assert!(res.max_error() <= budget.slack());
+    println!("certificate holds.");
+}

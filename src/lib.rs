@@ -1,0 +1,19 @@
+//! # neurofail
+//!
+//! Facade crate re-exporting the `neurofail` workspace: fault-tolerance
+//! bounds and fault-injection experimentation for feed-forward neural
+//! networks viewed as distributed systems, reproducing El Mhamdi &
+//! Guerraoui, *When Neurons Fail* (IPPS 2017).
+//!
+//! See the README for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use neurofail_core as core;
+pub use neurofail_data as data;
+pub use neurofail_distsim as distsim;
+pub use neurofail_inject as inject;
+pub use neurofail_nn as nn;
+pub use neurofail_par as par;
+pub use neurofail_quant as quant;
+pub use neurofail_tensor as tensor;

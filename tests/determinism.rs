@@ -1,0 +1,104 @@
+//! Reproducibility guarantees at workspace level: every stochastic pipeline
+//! is a pure function of its seeds, independent of thread count — the
+//! property EXPERIMENTS.md relies on when it promises bit-identical
+//! regeneration of every table.
+
+use neurofail::data::functions::Ridge;
+use neurofail::data::rng::rng;
+use neurofail::data::Dataset;
+use neurofail::inject::{run_campaign, CampaignConfig, FaultSpec, TrialKind};
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::train::{train, TrainConfig};
+use neurofail::par::Parallelism;
+use neurofail::tensor::init::Init;
+
+#[test]
+fn whole_pipeline_is_a_pure_function_of_seeds() {
+    let build = || {
+        let target = Ridge::canonical(2);
+        let mut r = rng(777);
+        let data = Dataset::sample(&target, 128, &mut r);
+        let mut net = MlpBuilder::new(2)
+            .dense(8, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut r);
+        train(
+            &mut net,
+            &data,
+            &TrainConfig {
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+            &mut r,
+        );
+        net
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b, "training must be bit-reproducible");
+}
+
+#[test]
+fn campaigns_are_invariant_across_parallelism_policies() {
+    let mut r = rng(778);
+    let net = MlpBuilder::new(3)
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .dense(6, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Uniform { a: 0.4 })
+        .build(&mut r);
+    let cfg = CampaignConfig {
+        trials: 30,
+        inputs_per_trial: 10,
+        ..CampaignConfig::default()
+    };
+    let reference = run_campaign(
+        &net,
+        &[2, 1],
+        TrialKind::Neurons(FaultSpec::ByzantineRandom),
+        &cfg,
+        Parallelism::Sequential,
+    );
+    for threads in [1usize, 2, 3, 8] {
+        let got = run_campaign(
+            &net,
+            &[2, 1],
+            TrialKind::Neurons(FaultSpec::ByzantineRandom),
+            &cfg,
+            Parallelism::Threads(threads),
+        );
+        assert_eq!(got.stats, reference.stats, "threads = {threads}");
+        assert_eq!(got.worst, reference.worst, "threads = {threads}");
+    }
+}
+
+#[test]
+fn campaign_worst_case_is_replayable() {
+    // The worst (plan, input) pair reported by a campaign must reproduce
+    // its error exactly when re-executed in isolation — campaigns report
+    // evidence, not just statistics.
+    use neurofail::inject::CompiledPlan;
+    use neurofail::nn::Workspace;
+
+    let mut r = rng(779);
+    let net = MlpBuilder::new(2)
+        .dense(10, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Uniform { a: 0.5 })
+        .build(&mut r);
+    let res = run_campaign(
+        &net,
+        &[3],
+        TrialKind::Neurons(FaultSpec::Crash),
+        &CampaignConfig {
+            trials: 20,
+            inputs_per_trial: 8,
+            ..CampaignConfig::default()
+        },
+        Parallelism::all_cores(),
+    );
+    let worst = res.worst.expect("faults were injected");
+    let compiled = CompiledPlan::compile(&worst.plan, &net, 1.0).unwrap();
+    let mut ws = Workspace::for_net(&net);
+    let replayed = compiled.output_error(&net, &worst.input, &mut ws);
+    assert_eq!(replayed, worst.error);
+}

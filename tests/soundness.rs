@@ -1,0 +1,157 @@
+//! The workspace's central integration property: for any network, any
+//! fault plan and any input, the measured output disturbance never exceeds
+//! the corresponding analytic bound — Theorems 1–5 end to end, across
+//! crates (nn → core → inject).
+
+use neurofail::core::fep::fep_for;
+use neurofail::core::synapse::{synapse_fep, SynapseBoundForm};
+use neurofail::core::{crash_fep, Capacity, FaultClass, NetworkProfile};
+use neurofail::data::rng::rng;
+use neurofail::inject::{run_campaign, CampaignConfig, FaultSpec, TrialKind};
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::Mlp;
+use neurofail::par::Parallelism;
+use neurofail::tensor::init::Init;
+use proptest::prelude::*;
+
+/// Build a random sigmoid/tanh network from a compact recipe.
+fn build_net(seed: u64, depth: usize, width: usize, scale: f64, tanh: bool) -> Mlp {
+    let act = if tanh {
+        Activation::Tanh { k: 1.0 }
+    } else {
+        Activation::Sigmoid { k: 1.0 }
+    };
+    let mut b = MlpBuilder::new(3);
+    for i in 0..depth {
+        b = b.dense(width + (i % 2), act);
+    }
+    b.init(Init::Uniform { a: scale })
+        .bias(false)
+        .build(&mut rng(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash faults: measured <= crash-Fep for random nets and plans.
+    #[test]
+    fn crash_measurements_respect_the_bound(
+        seed in 0u64..500,
+        depth in 1usize..4,
+        width in 3usize..9,
+        scale in 0.05f64..1.2,
+        fault_seed in 0u64..100,
+    ) {
+        let net = build_net(seed, depth, width, scale, false);
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+        let widths = net.widths();
+        let counts: Vec<usize> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (fault_seed as usize).wrapping_mul(i + 3) % (n + 1))
+            .collect();
+        let bound = crash_fep(&profile, &counts);
+        let res = run_campaign(
+            &net,
+            &counts,
+            TrialKind::Neurons(FaultSpec::Crash),
+            &CampaignConfig { trials: 8, inputs_per_trial: 6, ..CampaignConfig::default() },
+            Parallelism::Sequential,
+        );
+        prop_assert!(res.max_error() <= bound + 1e-12,
+            "measured {} > bound {bound} for counts {counts:?}", res.max_error());
+    }
+
+    /// Byzantine faults (every strategy): measured <= strict-magnitude Fep.
+    #[test]
+    fn byzantine_measurements_respect_the_strict_bound(
+        seed in 0u64..500,
+        depth in 1usize..3,
+        width in 3usize..8,
+        capacity in 0.2f64..3.0,
+        tanh in proptest::bool::ANY,
+    ) {
+        let net = build_net(seed, depth, width, 0.5, tanh);
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(capacity)).unwrap();
+        let counts = vec![1usize; depth];
+        let bound = fep_for(&profile, &counts, FaultClass::ByzantineStrict);
+        for spec in [
+            FaultSpec::ByzantineMaxPositive,
+            FaultSpec::ByzantineMaxNegative,
+            FaultSpec::ByzantineRandom,
+            FaultSpec::ByzantineOpposeNominal,
+            FaultSpec::StuckAt(0.77),
+        ] {
+            let res = run_campaign(
+                &net,
+                &counts,
+                TrialKind::Neurons(spec),
+                &CampaignConfig {
+                    trials: 6,
+                    inputs_per_trial: 4,
+                    capacity,
+                    ..CampaignConfig::default()
+                },
+                Parallelism::Sequential,
+            );
+            prop_assert!(res.max_error() <= bound + 1e-12,
+                "{spec:?}: measured {} > strict bound {bound}", res.max_error());
+        }
+    }
+
+    /// Byzantine synapses: measured <= Lemma-2-form Theorem 4 bound.
+    #[test]
+    fn synapse_measurements_respect_the_lemma2_bound(
+        seed in 0u64..500,
+        depth in 1usize..3,
+        width in 3usize..8,
+        capacity in 0.2f64..2.0,
+    ) {
+        let net = build_net(seed, depth, width, 0.5, false);
+        let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(capacity)).unwrap();
+        let mut counts = vec![1usize; depth + 1];
+        counts[depth] = 1;
+        let bound = synapse_fep(&profile, &counts, SynapseBoundForm::Lemma2);
+        let res = run_campaign(
+            &net,
+            &counts,
+            TrialKind::Synapses { byzantine: true },
+            &CampaignConfig {
+                trials: 8,
+                inputs_per_trial: 4,
+                capacity,
+                ..CampaignConfig::default()
+            },
+            Parallelism::Sequential,
+        );
+        prop_assert!(res.max_error() <= bound + 1e-12,
+            "measured {} > Lemma-2 bound {bound}", res.max_error());
+    }
+}
+
+/// Deterministic end-to-end check with hand-set weights (exact arithmetic):
+/// Fep equals the worst case on the construction designed to attain it.
+#[test]
+fn fep_is_attained_on_the_saturating_witness() {
+    use neurofail::inject::adversary::{
+        adversarial_input, saturating_single_layer, worst_crash_plan,
+    };
+    use neurofail::inject::input_search::SearchConfig;
+    use neurofail::inject::CompiledPlan;
+
+    let net = saturating_single_layer(3, 20, 0.04, 60.0);
+    let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
+    for fails in [1usize, 5, 10, 20] {
+        let bound = crash_fep(&profile, &[fails]);
+        let plan = worst_crash_plan(&net, 0, fails);
+        let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let (worst, _) =
+            adversarial_input(&net, &compiled, &SearchConfig::default(), &mut rng(99));
+        assert!(worst <= bound + 1e-12);
+        assert!(
+            worst >= 0.999 * bound,
+            "tightness not attained: {worst} vs {bound} at f = {fails}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration checks of the theorem statements themselves against the
+//! executable model — closed forms, consistency between theorems, and the
+//! documented reproduction findings.
+
+use neurofail::core::byzantine::{lemma1_zero_tolerance, max_faults_in_layer, tolerates};
+use neurofail::core::crash::crash_tolerance_single_layer;
+use neurofail::core::fep::{fep_ln, fep_with_magnitude, per_layer_terms};
+use neurofail::core::overprovision::{nmin_estimate, overprovision_factor};
+use neurofail::core::precision::{precision_bound, ErrorLocus};
+use neurofail::core::synapse::{synapse_fep, SynapseBoundForm};
+use neurofail::core::{crash_fep, fep, Capacity, EpsilonBudget, FaultClass, NetworkProfile};
+
+fn budget(e: f64, ep: f64) -> EpsilonBudget {
+    EpsilonBudget::new(e, ep).unwrap()
+}
+
+#[test]
+fn theorem1_is_the_single_layer_case_of_theorem3() {
+    // For L = 1 and C = sup ϕ, Theorem 3's condition Fep <= eps - eps'
+    // reduces to Theorem 1's N_fail <= (eps - eps') / w_m.
+    for (n, w, e, ep) in [(50usize, 0.01, 0.3, 0.1), (20, 0.05, 0.5, 0.25), (9, 0.11, 0.9, 0.3)] {
+        let p = NetworkProfile::uniform(1, n, w, 1.0, 1.0);
+        let b = budget(e, ep);
+        let t1 = crash_tolerance_single_layer(b, w).min(n);
+        // Largest f admissible under Theorem 3 (crash case).
+        let t3 = (0..=n)
+            .rev()
+            .find(|&f| crash_fep(&p, &[f]) <= b.slack())
+            .unwrap();
+        assert_eq!(t1, t3, "n={n} w={w}");
+    }
+}
+
+#[test]
+fn theorem2_closed_form_three_layers() {
+    // Hand-computed Fep for a 3-layer profile with distinct parameters.
+    let mut p = NetworkProfile::uniform(3, 6, 0.5, 2.0, 1.5);
+    p.layers[1].w_in = 0.4; // w^(2)
+    p.layers[2].w_in = 0.3; // w^(3)
+    p.w_out = 0.2; // w^(4)
+    let f = [1usize, 2, 3];
+    // term(l=1) = C·1·K²·(6−2)·0.4·(6−3)·0.3·0.2
+    let t1 = 1.5 * 1.0 * 4.0 * 4.0 * 0.4 * 3.0 * 0.3 * 0.2;
+    // term(l=2) = C·2·K·(6−3)·0.3·0.2
+    let t2 = 1.5 * 2.0 * 2.0 * 3.0 * 0.3 * 0.2;
+    // term(l=3) = C·3·0.2
+    let t3 = 1.5 * 3.0 * 0.2;
+    let terms = per_layer_terms(&p, &f, 1.5);
+    assert!((terms[0] - t1).abs() < 1e-12);
+    assert!((terms[1] - t2).abs() < 1e-12);
+    assert!((terms[2] - t3).abs() < 1e-12);
+    assert!((fep(&p, &f) - (t1 + t2 + t3)).abs() < 1e-12);
+    // Log-space agrees.
+    assert!((fep_ln(&p, &f, 1.5) - (t1 + t2 + t3).ln()).abs() < 1e-9);
+}
+
+#[test]
+fn lemma1_limit_of_theorem3() {
+    // N_fail -> 0 as C -> inf (the paper derives Lemma 1 as this limit).
+    let b = budget(1.0, 0.1);
+    let mut last = usize::MAX;
+    for c in [1.0, 10.0, 100.0, 1e4] {
+        let p = NetworkProfile::uniform(2, 50, 0.01, 1.0, c);
+        let t = max_faults_in_layer(&p, 2, b, FaultClass::Byzantine);
+        assert!(t <= last);
+        last = t;
+    }
+    let mut p = NetworkProfile::uniform(2, 50, 0.01, 1.0, 1.0);
+    p.capacity = f64::INFINITY;
+    assert_eq!(max_faults_in_layer(&p, 2, b, FaultClass::Byzantine), 0);
+    assert!(lemma1_zero_tolerance(&p, &[0, 1]));
+    assert!(!tolerates(&p, &[0, 1], b));
+}
+
+#[test]
+fn theorem4_forms_differ_exactly_by_wm() {
+    // Per failing stage, verbatim = lemma2 × w_m^(l) — documented finding #1.
+    let mut p = NetworkProfile::uniform(2, 8, 0.7, 1.3, 1.1);
+    p.layers[1].w_in = 0.9;
+    p.layers[1].w_in_all = 0.9;
+    p.w_out = 0.6;
+    for stage in 0..=2usize {
+        let mut f = vec![0usize; 3];
+        f[stage] = 1;
+        let v = synapse_fep(&p, &f, SynapseBoundForm::Verbatim);
+        let l2 = synapse_fep(&p, &f, SynapseBoundForm::Lemma2);
+        let wm = match stage {
+            0 => p.layers[0].w_in_all,
+            1 => p.layers[1].w_in_all,
+            _ => p.w_out,
+        };
+        assert!((v - l2 * wm).abs() < 1e-12, "stage {stage}");
+    }
+}
+
+#[test]
+fn theorem5_reduces_to_fep_shape_for_full_layers() {
+    // With every neuron of one layer carrying error λ and all other layers
+    // clean, Theorem 5's term matches a Theorem-2-style computation with
+    // f_l = N_l and magnitude λ... up to the (N−f) vs N relay distinction:
+    // Theorem 5 keeps ALL neurons as relays (errors are small, neurons are
+    // correct), so its bound uses N_l' where Theorem 2 uses N_l' − f_l'.
+    let p = NetworkProfile::uniform(2, 5, 0.5, 2.0, 1.0);
+    let lambda = 0.01;
+    // Theorem 5, error only at layer 1: λ·K·N1·w2·N2·w3.
+    let t5 = precision_bound(&p, &[lambda, 0.0], ErrorLocus::PostActivation);
+    let expect = lambda * 2.0 * 5.0 * 0.5 * 5.0 * 0.5;
+    assert!((t5 - expect).abs() < 1e-12);
+    // Theorem 2 with f1 = N1 = 5 faulty neurons of magnitude λ: the layer-2
+    // relays are (N2 − 0) = 5 here since f2 = 0 — same relay count, so the
+    // two agree for this configuration.
+    let t2 = fep_with_magnitude(&p, &[5, 0], lambda);
+    assert!((t2 - expect).abs() < 1e-12);
+}
+
+#[test]
+fn corollary1_factor_is_minimal() {
+    let p = NetworkProfile::uniform(2, 6, 0.5, 1.0, 1.0);
+    let faults = [2usize, 1];
+    let b = budget(0.25, 0.1);
+    let m = overprovision_factor(&p, &faults, b, FaultClass::Byzantine, 100_000).unwrap();
+    assert!(fep(&p.widened(m), &faults) <= b.slack());
+    if m > 1 {
+        assert!(fep(&p.widened(m - 1), &faults) > b.slack());
+    }
+}
+
+#[test]
+fn barron_sizing_shapes() {
+    assert_eq!(nmin_estimate(0.1, 1.0), 10);
+    assert!(nmin_estimate(0.001, 1.0) == 1000);
+    // Halving eps doubles the minimal size (Θ(1/ε)).
+    assert_eq!(nmin_estimate(0.05, 1.0), 2 * nmin_estimate(0.1, 1.0));
+}
+
+#[test]
+fn strict_byzantine_magnitude_dominates_paper_magnitude() {
+    let p = NetworkProfile::uniform(3, 7, 0.4, 1.5, 0.8);
+    let f = [1usize, 2, 0];
+    let paper = neurofail::core::fep::fep_for(&p, &f, FaultClass::Byzantine);
+    let strict = neurofail::core::fep::fep_for(&p, &f, FaultClass::ByzantineStrict);
+    // strict / paper = (C + sup) / C.
+    let ratio = (p.capacity + p.sup_activation) / p.capacity;
+    assert!((strict / paper - ratio).abs() < 1e-12);
+}
