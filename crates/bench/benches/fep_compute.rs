@@ -53,5 +53,10 @@ fn bench_tolerance_packing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fep, bench_fep_vs_exhaustive, bench_tolerance_packing);
+criterion_group!(
+    benches,
+    bench_fep,
+    bench_fep_vs_exhaustive,
+    bench_tolerance_packing
+);
 criterion_main!(benches);

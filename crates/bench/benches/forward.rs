@@ -1,14 +1,17 @@
-//! Criterion: inference throughput of the network substrate (gemv-based
-//! forward pass, with and without workspace reuse, and under fault taps).
+//! Criterion: inference throughput of the network substrate — the scalar
+//! gemv path (with and without workspace reuse, and under fault taps) and
+//! the batched GEMM engine, including the headline batched-vs-scalar
+//! campaign-evaluation comparison (`campaign_eval/*`).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use neurofail_inject::{CompiledPlan, InjectionPlan};
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
-use neurofail_nn::{Mlp, Workspace};
+use neurofail_nn::{BatchWorkspace, Mlp, Workspace};
 use neurofail_tensor::init::Init;
+use neurofail_tensor::Matrix;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn build(width: usize) -> Mlp {
     MlpBuilder::new(16)
@@ -19,18 +22,87 @@ fn build(width: usize) -> Mlp {
         .build(&mut SmallRng::seed_from_u64(2))
 }
 
+fn inputs(batch: usize, d: usize) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(3);
+    Matrix::from_fn(batch, d, |_, _| rng.gen_range(0.0..=1.0))
+}
+
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward");
     for width in [16usize, 64, 256] {
         let net = build(width);
         let x = vec![0.5; 16];
         let mut ws = Workspace::for_net(&net);
-        group.bench_with_input(BenchmarkId::new("workspace_reuse", width), &width, |b, _| {
-            b.iter(|| net.forward_ws(black_box(&x), &mut ws))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("workspace_reuse", width),
+            &width,
+            |b, _| b.iter(|| net.forward_ws(black_box(&x), &mut ws)),
+        );
         group.bench_with_input(BenchmarkId::new("alloc_per_call", width), &width, |b, _| {
             b.iter(|| net.forward(black_box(&x)))
         });
+    }
+    group.finish();
+}
+
+/// Whole-batch forward passes versus the equivalent scalar loop. Times are
+/// per full batch; divide by the batch size for per-input figures.
+fn bench_forward_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_batch");
+    for width in [16usize, 64, 256] {
+        let net = build(width);
+        let batch = 32usize;
+        let xs = inputs(batch, 16);
+        let mut bws = BatchWorkspace::for_net(&net, batch);
+        let mut ws = Workspace::for_net(&net);
+        group.bench_with_input(BenchmarkId::new("batched_b32", width), &width, |b, _| {
+            b.iter(|| net.forward_batch(black_box(&xs), &mut bws))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar_loop_b32", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for r in 0..batch {
+                        acc += net.forward_ws(black_box(xs.row(r)), &mut ws);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The acceptance benchmark: campaign evaluation (nominal + faulty pass
+/// per `(plan, input)` pair, i.e. `CompiledPlan::output_error*`) over a
+/// batch of 32 inputs on the 64-wide network, batched engine versus the
+/// scalar per-input path the campaigns used before the refactor.
+fn bench_campaign_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_eval");
+    for width in [64usize, 256] {
+        let net = build(width);
+        let plan = InjectionPlan::crash([(0, 1), (1, 5), (2, 7)]);
+        let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        for batch in [32usize, 128] {
+            let xs = inputs(batch, 16);
+            let mut bws = BatchWorkspace::for_net(&net, batch);
+            let mut ws = Workspace::for_net(&net);
+            group.bench_function(BenchmarkId::new(format!("batched_w{width}"), batch), |b| {
+                b.iter(|| compiled.output_error_batch(&net, black_box(&xs), &mut bws))
+            });
+            group.bench_function(BenchmarkId::new(format!("scalar_w{width}"), batch), |b| {
+                b.iter(|| {
+                    let mut worst = 0.0f64;
+                    for r in 0..batch {
+                        worst =
+                            worst.max(compiled.output_error(&net, black_box(xs.row(r)), &mut ws));
+                    }
+                    worst
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -46,5 +118,11 @@ fn bench_faulty_forward(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_forward, bench_faulty_forward);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_forward_batch,
+    bench_campaign_eval,
+    bench_faulty_forward
+);
 criterion_main!(benches);

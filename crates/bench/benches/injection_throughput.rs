@@ -30,15 +30,7 @@ fn bench_campaign(c: &mut Criterion) {
         ("all_cores", Parallelism::all_cores()),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
-            b.iter(|| {
-                run_campaign(
-                    &net,
-                    &[3, 1],
-                    TrialKind::Neurons(FaultSpec::Crash),
-                    &cfg,
-                    p,
-                )
-            })
+            b.iter(|| run_campaign(&net, &[3, 1], TrialKind::Neurons(FaultSpec::Crash), &cfg, p))
         });
     }
     group.finish();

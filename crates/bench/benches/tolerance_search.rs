@@ -17,9 +17,7 @@ fn bench_search(c: &mut Criterion) {
             b.iter(|| max_uniform_faults(black_box(&p), budget, FaultClass::Byzantine))
         });
         group.bench_with_input(BenchmarkId::new("exact_lattice", n), &n, |b, _| {
-            b.iter(|| {
-                exact_max_total_faults(black_box(&p), budget, FaultClass::Byzantine, 1 << 24)
-            })
+            b.iter(|| exact_max_total_faults(black_box(&p), budget, FaultClass::Byzantine, 1 << 24))
         });
     }
     group.finish();

@@ -75,10 +75,7 @@ pub fn run() {
             "uniform crash tolerance",
         ],
     );
-    for (name, net, init_net) in [
-        ("conv", &conv, &conv_init),
-        ("dense", &dense, &dense_init),
-    ] {
+    for (name, net, init_net) in [("conv", &conv, &conv_init), ("dense", &dense, &dense_init)] {
         let topo = Topology::of(net);
         let adv = conv_advantage(&topo, budget, Capacity::Bounded(1.0)).unwrap();
         let profile = NetworkProfile::from_mlp(net, Capacity::Bounded(1.0)).unwrap();

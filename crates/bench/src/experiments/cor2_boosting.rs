@@ -35,11 +35,24 @@ pub fn run() {
         ("constant", LatencyModel::Constant(1.0)),
         ("uniform", LatencyModel::Uniform { lo: 0.5, hi: 2.0 }),
         ("exponential", LatencyModel::Exponential { mean: 1.0 }),
-        ("pareto a=1.2", LatencyModel::Pareto { x_min: 0.5, alpha: 1.2 }),
+        (
+            "pareto a=1.2",
+            LatencyModel::Pareto {
+                x_min: 0.5,
+                alpha: 1.2,
+            },
+        ),
     ];
     let mut rep = Reporter::new(
         "cor2_boosting",
-        &["latency model", "mean speedup", "max speedup", "resets/run", "worst error", "bound"],
+        &[
+            "latency model",
+            "mean speedup",
+            "max speedup",
+            "resets/run",
+            "worst error",
+            "bound",
+        ],
     );
     for (name, model) in models {
         let mut speedups = Vec::new();
@@ -54,7 +67,10 @@ pub fn run() {
             worst = worst.max(run.error);
             resets += run.resets;
         }
-        assert!(worst <= bound + 1e-12, "{name}: error above the Cor-2 bound");
+        assert!(
+            worst <= bound + 1e-12,
+            "{name}: error above the Cor-2 bound"
+        );
         let mean = speedups.iter().sum::<f64>() / trials as f64;
         let max = speedups.iter().cloned().fold(0.0f64, f64::max);
         rep.row(&[

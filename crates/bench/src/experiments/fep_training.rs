@@ -29,7 +29,14 @@ pub fn run() {
 
     let mut rep = Reporter::new(
         "fep_training",
-        &["training", "final mse", "eps'", "w_max", "Fep(2,1)", "tolerated crashes (8x repl)"],
+        &[
+            "training",
+            "final mse",
+            "eps'",
+            "w_max",
+            "Fep(2,1)",
+            "tolerated crashes (8x repl)",
+        ],
     );
     for (name, penalty) in [
         ("plain", None),
@@ -63,8 +70,7 @@ pub fn run() {
             },
             &mut rng(1 + 0xE15),
         );
-        let eps_prime =
-            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
         let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
         // As in E12, the tolerance column uses the 8× replicated variant.

@@ -30,7 +30,7 @@ pub fn k_sweep() -> Vec<f64> {
 
 /// Run the Figure 3 reproduction.
 pub fn run() {
-    let zoo = eight_networks(0xF16_3, 300);
+    let zoo = eight_networks(0xF163, 300);
     let ks = k_sweep();
     let mut columns = vec!["K".to_string()];
     for z in &zoo {
@@ -82,8 +82,8 @@ pub fn run() {
     for (z, s) in zoo.iter().zip(&series) {
         let first = lo[0];
         let last = *lo.last().unwrap();
-        let slope = ((s[last].max(1e-12) / s[first].max(1e-12)).ln())
-            / ((ks[last] / ks[first]).ln());
+        let slope =
+            ((s[last].max(1e-12) / s[first].max(1e-12)).ln()) / ((ks[last] / ks[first]).ln());
         println!(
             "  {:6} depth {}: slope {:.2}  (eps' = {:.4})",
             z.name,

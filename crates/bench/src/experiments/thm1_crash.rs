@@ -34,12 +34,7 @@ pub fn run() {
             &SearchConfig::default(),
             &mut rng(0xE4),
         );
-        rep.row(&[
-            fails.to_string(),
-            f(bound),
-            f(worst),
-            f(worst / bound),
-        ]);
+        rep.row(&[fails.to_string(), f(bound), f(worst), f(worst / bound)]);
         assert!(worst <= bound + 1e-12, "soundness violated");
     }
     rep.finish();

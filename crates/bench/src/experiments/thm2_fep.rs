@@ -10,12 +10,10 @@
 
 use neurofail_core::fep::per_layer_terms;
 use neurofail_core::{crash_fep, Capacity, NetworkProfile};
+use neurofail_data::rng::rng;
 use neurofail_inject::adversary::{adversarial_input, worst_crash_plan};
 use neurofail_inject::input_search::SearchConfig;
-use neurofail_inject::{
-    run_campaign, CampaignConfig, CompiledPlan, FaultSpec, TrialKind,
-};
-use neurofail_data::rng::rng;
+use neurofail_inject::{run_campaign, CampaignConfig, CompiledPlan, FaultSpec, TrialKind};
 use neurofail_par::Parallelism;
 
 use crate::report::{f, Reporter};
@@ -26,7 +24,15 @@ pub fn run() {
     let zoo = eight_networks(0xE5, 120);
     let mut rep = Reporter::new(
         "thm2_fep_soundness",
-        &["net", "depth", "faults", "Fep bound", "MC max", "adversarial", "adv/bound"],
+        &[
+            "net",
+            "depth",
+            "faults",
+            "Fep bound",
+            "MC max",
+            "adversarial",
+            "adv/bound",
+        ],
     );
     for z in &zoo {
         let profile = NetworkProfile::from_mlp(&z.net, Capacity::Bounded(1.0)).unwrap();
@@ -48,16 +54,11 @@ pub fn run() {
         let plan = worst_crash_plan(&z.net, 0, 1);
         let mut plan = plan;
         for l in 1..z.net.depth() {
-            plan.neurons
-                .extend(worst_crash_plan(&z.net, l, 1).neurons);
+            plan.neurons.extend(worst_crash_plan(&z.net, l, 1).neurons);
         }
         let compiled = CompiledPlan::compile(&plan, &z.net, 1.0).unwrap();
-        let (adv, _) = adversarial_input(
-            &z.net,
-            &compiled,
-            &SearchConfig::default(),
-            &mut rng(0xE5),
-        );
+        let (adv, _) =
+            adversarial_input(&z.net, &compiled, &SearchConfig::default(), &mut rng(0xE5));
         let worst = adv.max(mc.max_error());
         assert!(worst <= bound, "{}: soundness violated", z.name);
         rep.row(&[

@@ -46,9 +46,8 @@ pub fn run() {
         // *measured* error stays within the slack (finding #2: the paper's
         // magnitude C under-counts by the displaced nominal).
         let strict = greedy_max_faults(&profile, budget, FaultClass::ByzantineStrict);
-        let exact =
-            exact_max_total_faults(&profile, budget, FaultClass::ByzantineStrict, 1 << 22)
-                .map(|e| e.total);
+        let exact = exact_max_total_faults(&profile, budget, FaultClass::ByzantineStrict, 1 << 22)
+            .map(|e| e.total);
         let measured = if strict.iter().sum::<usize>() > 0 {
             let res = run_campaign(
                 &net,

@@ -22,10 +22,21 @@ pub fn run() {
     let rows = precision_sweep(&net, &profile, &inputs, &[2, 3, 4, 6, 8, 10, 12, 16]);
     let mut rep = Reporter::new(
         "thm5_precision",
-        &["frac bits", "bits/val", "measured", "Thm5 bound", "memory vs f64", "eps' + bound"],
+        &[
+            "frac bits",
+            "bits/val",
+            "measured",
+            "Thm5 bound",
+            "memory vs f64",
+            "eps' + bound",
+        ],
     );
     for r in &rows {
-        assert!(r.measured <= r.bound, "soundness violated at {} bits", r.frac_bits);
+        assert!(
+            r.measured <= r.bound,
+            "soundness violated at {} bits",
+            r.frac_bits
+        );
         rep.row(&[
             r.frac_bits.to_string(),
             r.bits.to_string(),

@@ -33,7 +33,13 @@ pub fn run() {
     // --- K sweep ---
     let mut rep = Reporter::new(
         "tradeoff_lipschitz",
-        &["K", "epochs to mse<=0.005", "final mse", "eps'", "tolerated crashes (8x repl)"],
+        &[
+            "K",
+            "epochs to mse<=0.005",
+            "final mse",
+            "eps'",
+            "tolerated crashes (8x repl)",
+        ],
     );
     for k in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut net = MlpBuilder::new(2)
@@ -50,11 +56,9 @@ pub fn run() {
             },
             &mut rng(1 + 0xE12),
         );
-        let eps_prime =
-            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
         let profile =
-            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0))
-                .unwrap();
+            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
         let tolerated: usize = greedy_max_faults(&profile, budget, FaultClass::Crash)
             .iter()
@@ -75,7 +79,13 @@ pub fn run() {
     // --- Weight-decay sweep ---
     let mut rep = Reporter::new(
         "tradeoff_weight_decay",
-        &["decay", "final mse", "w_max", "eps'", "tolerated crashes (8x repl)"],
+        &[
+            "decay",
+            "final mse",
+            "w_max",
+            "eps'",
+            "tolerated crashes (8x repl)",
+        ],
     );
     for decay in [0.0, 1e-4, 1e-3, 5e-3, 2e-2] {
         let mut net = MlpBuilder::new(2)
@@ -93,11 +103,9 @@ pub fn run() {
             },
             &mut rng(2 + 0xE12),
         );
-        let eps_prime =
-            neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
         let profile =
-            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0))
-                .unwrap();
+            NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
         let tolerated: usize = greedy_max_faults(&profile, budget, FaultClass::Crash)
             .iter()

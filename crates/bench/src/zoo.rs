@@ -48,11 +48,17 @@ pub fn eight_networks(seed: u64, epochs: usize) -> Vec<ZooNet> {
         Box::new(Ridge::canonical(2)),
         Box::new(GaussianBump::centered(2)),
         Box::new(SineProduct::gentle(2)),
-        Box::new(SmoothXor { d: 2, sharpness: 6.0 }),
+        Box::new(SmoothXor {
+            d: 2,
+            sharpness: 6.0,
+        }),
         Box::new(Ridge::canonical(2)),
         Box::new(GaussianBump::centered(2)),
         Box::new(SineProduct::gentle(2)),
-        Box::new(SmoothXor { d: 2, sharpness: 6.0 }),
+        Box::new(SmoothXor {
+            d: 2,
+            sharpness: 6.0,
+        }),
     ];
     zoo_shapes()
         .into_iter()
@@ -71,8 +77,7 @@ pub fn eight_networks(seed: u64, epochs: usize) -> Vec<ZooNet> {
                 ..TrainConfig::default()
             };
             train(&mut net, &data, &cfg, &mut r);
-            let eps_prime =
-                neurofail_nn::metrics::sup_error_halton(&net, target.as_ref(), 256);
+            let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, target.as_ref(), 256);
             ZooNet {
                 name: format!("Net {}", i + 1),
                 net,

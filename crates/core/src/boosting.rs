@@ -43,7 +43,11 @@ impl QuorumTable {
 /// # Panics
 /// If `faults` mismatches the profile; asserts (debug) that the
 /// distribution is indeed tolerated, which Corollary 2 requires.
-pub fn quorums_for(profile: &NetworkProfile, faults: &[usize], budget: EpsilonBudget) -> QuorumTable {
+pub fn quorums_for(
+    profile: &NetworkProfile,
+    faults: &[usize],
+    budget: EpsilonBudget,
+) -> QuorumTable {
     profile_quorums(profile, faults, Some(budget))
 }
 

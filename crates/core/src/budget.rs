@@ -84,8 +84,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert_eq!(EpsilonBudget::new(0.0, 0.0).unwrap_err(), BudgetError::NonPositive);
-        assert_eq!(EpsilonBudget::new(-1.0, 0.1).unwrap_err(), BudgetError::NonPositive);
+        assert_eq!(
+            EpsilonBudget::new(0.0, 0.0).unwrap_err(),
+            BudgetError::NonPositive
+        );
+        assert_eq!(
+            EpsilonBudget::new(-1.0, 0.1).unwrap_err(),
+            BudgetError::NonPositive
+        );
         assert_eq!(
             EpsilonBudget::new(f64::NAN, 0.1).unwrap_err(),
             BudgetError::NonPositive

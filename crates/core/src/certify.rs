@@ -131,7 +131,11 @@ impl std::fmt::Display for Certificate {
             "  boosting quorums: {:?} (skip {:?})",
             self.quorums.quorums, self.quorums.faults
         )?;
-        writeln!(f, "  max uniform per-neuron error (Thm 5): {:.3e}", self.max_lambda)
+        writeln!(
+            f,
+            "  max uniform per-neuron error (Thm 5): {:.3e}",
+            self.max_lambda
+        )
     }
 }
 

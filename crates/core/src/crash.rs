@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn zero_weight_tolerates_everything() {
-        assert_eq!(crash_tolerance_single_layer(budget(0.1, 0.05), 0.0), usize::MAX);
+        assert_eq!(
+            crash_tolerance_single_layer(budget(0.1, 0.05), 0.0),
+            usize::MAX
+        );
     }
 
     #[test]

@@ -57,7 +57,104 @@ pub fn fep_for(profile: &NetworkProfile, faults: &[usize], class: FaultClass) ->
 /// # Panics
 /// As [`fep`].
 pub fn fep_with_magnitude(profile: &NetworkProfile, faults: &[usize], magnitude: f64) -> f64 {
-    per_layer_terms(profile, faults, magnitude).iter().sum()
+    let mut scratch = Vec::new();
+    fep_with_magnitude_into(profile, faults, magnitude, &mut scratch)
+}
+
+/// Allocation-free [`fep_with_magnitude`]: the suffix products go through a
+/// caller-owned scratch buffer (resized on first use, reused afterwards).
+///
+/// This is the batched-evaluation primitive of the inverse tolerance
+/// search: `greedy_max_faults` and the exact lattice enumeration evaluate
+/// thousands to millions of candidate distributions, and the two `Vec`
+/// allocations per candidate of the naive path dominated their profiles.
+/// The returned value is **bitwise identical** to [`fep_with_magnitude`]
+/// (same products, same left-to-right term sum).
+///
+/// # Panics
+/// As [`fep`].
+pub fn fep_with_magnitude_into(
+    profile: &NetworkProfile,
+    faults: &[usize],
+    magnitude: f64,
+    suffix_scratch: &mut Vec<f64>,
+) -> f64 {
+    suffix_products_into(profile, faults, suffix_scratch);
+    debug_assert!(magnitude >= 0.0);
+    let mut acc = 0.0;
+    for (i, &f) in faults.iter().enumerate() {
+        acc += if f == 0 {
+            // Avoid 0 × ∞ = NaN in the unbounded-capacity regime.
+            0.0
+        } else {
+            magnitude * f as f64 * suffix_scratch[i + 1]
+        };
+    }
+    acc
+}
+
+/// [`fep_for`] through a reusable scratch buffer (see
+/// [`fep_with_magnitude_into`]).
+///
+/// # Panics
+/// As [`fep`].
+pub fn fep_for_into(
+    profile: &NetworkProfile,
+    faults: &[usize],
+    class: FaultClass,
+    suffix_scratch: &mut Vec<f64>,
+) -> f64 {
+    fep_with_magnitude_into(
+        profile,
+        faults,
+        profile.fault_magnitude(class),
+        suffix_scratch,
+    )
+}
+
+/// Batched Fep over the single-increment neighborhood of `faults`:
+/// `out[i]` is `Some(Fep(faults + e_i))` when layer `i + 1` has a spare
+/// neuron, `None` when the layer is already fully faulty. One call
+/// evaluates the whole candidate frontier of a greedy packing step through
+/// one shared scratch buffer; each candidate's value is bitwise identical
+/// to a standalone [`fep_for`] call on the incremented distribution.
+///
+/// # Panics
+/// As [`fep`].
+pub fn increment_feps(
+    profile: &NetworkProfile,
+    faults: &mut [usize],
+    class: FaultClass,
+    suffix_scratch: &mut Vec<f64>,
+    out: &mut Vec<Option<f64>>,
+) {
+    profile.check_faults(faults);
+    out.clear();
+    for i in 0..faults.len() {
+        if faults[i] >= profile.layers[i].n {
+            out.push(None);
+            continue;
+        }
+        faults[i] += 1;
+        out.push(Some(fep_for_into(profile, faults, class, suffix_scratch)));
+        faults[i] -= 1;
+    }
+}
+
+/// Write the suffix products for `(profile, faults)` into `suffix`
+/// (resized to `L + 1`): `suffix[i] = Π_{j=i..L-1} (n_j − f_j)·k_j·w_in_j
+/// · w_out`, the factor a unit error entering code-layer `i` picks up on
+/// its way to the output; `suffix[L] = w_out`.
+fn suffix_products_into(profile: &NetworkProfile, faults: &[usize], suffix: &mut Vec<f64>) {
+    profile.check_faults(faults);
+    let l = profile.depth();
+    suffix.clear();
+    suffix.resize(l + 1, 0.0);
+    suffix[l] = profile.w_out;
+    for i in (0..l).rev() {
+        let lay = &profile.layers[i];
+        suffix[i] = suffix[i + 1] * (lay.n - faults[i]) as f64 * lay.k * lay.w_in;
+    }
 }
 
 /// The per-layer terms of the Fep sum: `terms[i]` is layer `i+1`'s
@@ -66,25 +163,17 @@ pub fn fep_with_magnitude(profile: &NetworkProfile, faults: &[usize], magnitude:
 /// # Panics
 /// As [`fep`].
 pub fn per_layer_terms(profile: &NetworkProfile, faults: &[usize], magnitude: f64) -> Vec<f64> {
-    profile.check_faults(faults);
     debug_assert!(magnitude >= 0.0);
-    let l = profile.depth();
-    // suffix[i] = Π_{j=i..L-1} (n_j − f_j)·k_j·w_in_j · w_out, i.e. the
-    // factor a unit error on a layer-(i) *input-side* fault picks up from
-    // code-layers i..L-1 and the output synapses. suffix[L] = w_out.
-    let mut suffix = vec![0.0; l + 1];
-    suffix[l] = profile.w_out;
-    for i in (0..l).rev() {
-        let lay = &profile.layers[i];
-        suffix[i] = suffix[i + 1] * (lay.n - faults[i]) as f64 * lay.k * lay.w_in;
-    }
-    (0..l)
-        .map(|i| {
-            if faults[i] == 0 {
-                // Avoid 0 × ∞ = NaN in the unbounded-capacity regime.
+    let mut suffix = Vec::new();
+    suffix_products_into(profile, faults, &mut suffix);
+    faults
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            if f == 0 {
                 0.0
             } else {
-                magnitude * faults[i] as f64 * suffix[i + 1]
+                magnitude * f as f64 * suffix[i + 1]
             }
         })
         .collect()
@@ -164,7 +253,11 @@ impl FepBreakdown {
 
 impl std::fmt::Display for FepBreakdown {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fep = {:.6e} (per-value magnitude {})", self.total, self.magnitude)?;
+        writeln!(
+            f,
+            "Fep = {:.6e} (per-value magnitude {})",
+            self.total, self.magnitude
+        )?;
         for (i, (t, fl)) in self.per_layer.iter().zip(&self.faults).enumerate() {
             writeln!(f, "  layer {:>2}: f={:<4} term={:.6e}", i + 1, fl, t)?;
         }
@@ -258,6 +351,43 @@ mod tests {
     fn wrong_fault_length_panics() {
         let p = NetworkProfile::uniform(2, 5, 0.5, 1.0, 1.0);
         let _ = fep(&p, &[1]);
+    }
+
+    #[test]
+    fn increment_feps_matches_standalone_calls_bitwise() {
+        let mut p = NetworkProfile::uniform(3, 5, 0.4, 1.5, 1.2);
+        p.layers[1].w_in = 0.7;
+        let mut faults = vec![1usize, 5, 0];
+        let snapshot = faults.clone();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        increment_feps(
+            &p,
+            &mut faults,
+            FaultClass::Byzantine,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(faults, snapshot, "increment_feps must restore its input");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1], None, "full layer has no increment");
+        for (i, got) in out.iter().enumerate() {
+            let Some(got) = got else { continue };
+            let mut f = faults.clone();
+            f[i] += 1;
+            assert_eq!(*got, fep_for(&p, &f, FaultClass::Byzantine), "layer {i}");
+        }
+    }
+
+    #[test]
+    fn fep_into_reuses_scratch_across_profiles_of_different_depth() {
+        let mut scratch = Vec::new();
+        let deep = NetworkProfile::uniform(5, 4, 0.3, 1.0, 1.0);
+        let shallow = NetworkProfile::uniform(2, 9, 0.2, 2.0, 1.0);
+        let a = fep_with_magnitude_into(&deep, &[1, 0, 2, 0, 1], 1.0, &mut scratch);
+        assert_eq!(a, fep_with_magnitude(&deep, &[1, 0, 2, 0, 1], 1.0));
+        let b = fep_with_magnitude_into(&shallow, &[3, 1], 1.0, &mut scratch);
+        assert_eq!(b, fep_with_magnitude(&shallow, &[3, 1], 1.0));
     }
 
     proptest! {

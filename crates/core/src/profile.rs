@@ -148,8 +148,14 @@ impl NetworkProfile {
     /// maxima `w`, Lipschitz `k`, capacity `c` — the shape of the paper's
     /// worked discussions. Panics on non-positive parameters.
     pub fn uniform(l: usize, n: usize, w: f64, k: f64, c: f64) -> Self {
-        assert!(l > 0 && n > 0, "uniform: need at least one layer and neuron");
-        assert!(w > 0.0 && k > 0.0 && c > 0.0, "uniform: parameters must be positive");
+        assert!(
+            l > 0 && n > 0,
+            "uniform: need at least one layer and neuron"
+        );
+        assert!(
+            w > 0.0 && k > 0.0 && c > 0.0,
+            "uniform: parameters must be positive"
+        );
         NetworkProfile {
             layers: vec![
                 LayerProfile {

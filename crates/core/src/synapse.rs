@@ -159,9 +159,7 @@ mod tests {
         assert!((verbatim - lemma2 * 0.5).abs() < 1e-12);
         // One output synapse: direct C (Lemma2) vs C·w_out (verbatim).
         assert!((synapse_fep(&p, &[0, 1], SynapseBoundForm::Lemma2) - 1.5).abs() < 1e-12);
-        assert!(
-            (synapse_fep(&p, &[0, 1], SynapseBoundForm::Verbatim) - 1.5 * 0.5).abs() < 1e-12
-        );
+        assert!((synapse_fep(&p, &[0, 1], SynapseBoundForm::Verbatim) - 1.5 * 0.5).abs() < 1e-12);
     }
 
     #[test]

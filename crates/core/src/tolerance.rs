@@ -15,17 +15,25 @@
 //! terms, so the admissible set is not downward closed and greedy results
 //! are maximal, not necessarily maximum. The exact search exists precisely
 //! to quantify that gap (it is tiny in practice — see EXPERIMENTS.md E6).
+//!
+//! All searches here run on the **batched** Fep path
+//! ([`crate::fep::increment_feps`] / [`crate::fep::fep_for_into`]): each
+//! step evaluates its whole candidate frontier through one reused scratch
+//! buffer instead of allocating per candidate. Values are bitwise identical
+//! to per-candidate [`fep_for`] calls, so search results are unchanged —
+//! only the evaluation rate differs (see the `tolerance_search` bench).
 
 use serde::{Deserialize, Serialize};
 
 use crate::budget::EpsilonBudget;
-use crate::fep::fep_for;
+use crate::fep::{fep_for_into, increment_feps};
 use crate::profile::{FaultClass, NetworkProfile};
 
 /// Greedily pack faults one at a time: at each step, add the fault (to any
 /// layer) that minimises the resulting Fep, as long as the result stays
 /// within the slack. Returns the final distribution (maximal: no single
-/// additional fault fits).
+/// additional fault fits). Each step's candidate frontier is one batched
+/// [`increment_feps`] evaluation.
 pub fn greedy_max_faults(
     profile: &NetworkProfile,
     budget: EpsilonBudget,
@@ -34,15 +42,13 @@ pub fn greedy_max_faults(
     let l = profile.depth();
     let slack = budget.slack();
     let mut faults = vec![0usize; l];
+    let mut scratch = Vec::new();
+    let mut frontier = Vec::new();
     loop {
+        increment_feps(profile, &mut faults, class, &mut scratch, &mut frontier);
         let mut best: Option<(usize, f64)> = None;
-        for i in 0..l {
-            if faults[i] >= profile.layers[i].n {
-                continue;
-            }
-            faults[i] += 1;
-            let f = fep_for(profile, &faults, class);
-            faults[i] -= 1;
+        for (i, f) in frontier.iter().enumerate() {
+            let Some(f) = *f else { continue };
             if f <= slack {
                 match best {
                     Some((_, bf)) if bf <= f => {}
@@ -58,7 +64,7 @@ pub fn greedy_max_faults(
 }
 
 /// Whether no single extra fault keeps `(f_l)` admissible (local/Pareto
-/// maximality on the fault lattice).
+/// maximality on the fault lattice). One batched frontier evaluation.
 pub fn is_maximal(
     profile: &NetworkProfile,
     faults: &[usize],
@@ -66,21 +72,14 @@ pub fn is_maximal(
     class: FaultClass,
 ) -> bool {
     let slack = budget.slack();
-    if fep_for(profile, faults, class) > slack {
+    let mut scratch = Vec::new();
+    if fep_for_into(profile, faults, class, &mut scratch) > slack {
         return false;
     }
     let mut work = faults.to_vec();
-    for i in 0..work.len() {
-        if work[i] < profile.layers[i].n {
-            work[i] += 1;
-            let f = fep_for(profile, &work, class);
-            work[i] -= 1;
-            if f <= slack {
-                return false;
-            }
-        }
-    }
-    true
+    let mut frontier = Vec::new();
+    increment_feps(profile, &mut work, class, &mut scratch, &mut frontier);
+    !frontier.iter().flatten().any(|&f| f <= slack)
 }
 
 /// Result of an exact search.
@@ -115,6 +114,7 @@ pub fn exact_max_total_faults(
     let slack = budget.slack();
     let l = profile.depth();
     let mut faults = vec![0usize; l];
+    let mut scratch = Vec::new();
     let mut best = ExactSearch {
         witness: faults.clone(),
         total: 0,
@@ -123,7 +123,7 @@ pub fn exact_max_total_faults(
     loop {
         best.evaluated += 1;
         let total: usize = faults.iter().sum();
-        if total > best.total && fep_for(profile, &faults, class) <= slack {
+        if total > best.total && fep_for_into(profile, &faults, class, &mut scratch) <= slack {
             best.total = total;
             best.witness = faults.clone();
         }
@@ -154,15 +154,21 @@ pub fn max_uniform_faults(
     let n_min = profile.layers.iter().map(|l| l.n).min().unwrap_or(0);
     let slack = budget.slack();
     let l = profile.depth();
+    let mut scratch = Vec::new();
+    let mut candidate = vec![0usize; l];
     (0..=n_min)
         .rev()
-        .find(|&f| fep_for(profile, &vec![f; l], class) <= slack)
+        .find(|&f| {
+            candidate.fill(f);
+            fep_for_into(profile, &candidate, class, &mut scratch) <= slack
+        })
         .unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fep::fep_for;
 
     fn budget(e: f64, ep: f64) -> EpsilonBudget {
         EpsilonBudget::new(e, ep).unwrap()
@@ -200,7 +206,9 @@ mod tests {
     #[test]
     fn exact_search_respects_state_limit() {
         let p = NetworkProfile::uniform(4, 100, 0.1, 1.0, 1.0);
-        assert!(exact_max_total_faults(&p, budget(0.5, 0.1), FaultClass::Byzantine, 1000).is_none());
+        assert!(
+            exact_max_total_faults(&p, budget(0.5, 0.1), FaultClass::Byzantine, 1000).is_none()
+        );
     }
 
     #[test]
@@ -208,11 +216,11 @@ mod tests {
         let p = NetworkProfile::uniform(3, 10, 0.1, 1.0, 1.0);
         let b = budget(0.4, 0.1);
         let f = max_uniform_faults(&p, b, FaultClass::Byzantine);
-        assert!(crate::byzantine::tolerates(&p, &vec![f; 3], b));
+        assert!(crate::byzantine::tolerates(&p, &[f; 3], b));
         // Check maximality among uniform distributions.
         if f < 10 {
-            let all_higher_inadmissible = ((f + 1)..=10)
-                .all(|g| !crate::byzantine::tolerates(&p, &vec![g; 3], b));
+            let all_higher_inadmissible =
+                ((f + 1)..=10).all(|g| !crate::byzantine::tolerates(&p, &[g; 3], b));
             assert!(all_higher_inadmissible);
         }
     }
@@ -232,7 +240,12 @@ mod tests {
         let b = budget(1.0, 0.1);
         assert_eq!(greedy_max_faults(&p, b, FaultClass::Byzantine), vec![0, 0]);
         // Crash packing is unaffected (Lemma 1 is a Byzantine statement).
-        assert!(greedy_max_faults(&p, b, FaultClass::Crash).iter().sum::<usize>() > 0);
+        assert!(
+            greedy_max_faults(&p, b, FaultClass::Crash)
+                .iter()
+                .sum::<usize>()
+                > 0
+        );
     }
 
     #[test]

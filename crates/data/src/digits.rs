@@ -25,16 +25,36 @@ pub const DIM: usize = ROWS * COLS;
 
 /// 7×5 dot-matrix glyphs for digits 0–9 (row strings, `#` = on pixel).
 const GLYPHS: [[&str; ROWS]; 10] = [
-    [" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "], // 0
-    ["  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "], // 1
-    [" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"], // 2
-    [" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "], // 3
-    ["   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "], // 4
-    ["#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "], // 5
-    [" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "], // 6
-    ["#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "], // 7
-    [" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "], // 8
-    [" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "], // 9
+    [
+        " ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### ",
+    ], // 0
+    [
+        "  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### ",
+    ], // 1
+    [
+        " ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####",
+    ], // 2
+    [
+        " ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### ",
+    ], // 3
+    [
+        "   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # ",
+    ], // 4
+    [
+        "#####", "#    ", "#### ", "    #", "    #", "#   #", " ### ",
+    ], // 5
+    [
+        " ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### ",
+    ], // 6
+    [
+        "#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   ",
+    ], // 7
+    [
+        " ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### ",
+    ], // 8
+    [
+        " ### ", "#   #", "#   #", " ####", "    #", "    #", " ### ",
+    ], // 9
 ];
 
 /// The clean (noise-free) glyph for `digit` as a `[0,1]^35` vector.

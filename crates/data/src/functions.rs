@@ -71,7 +71,12 @@ impl TargetFn for Ridge {
             .zip(x)
             .map(|(a, xi)| a * xi)
             .sum::<f64>()
-            / self.direction.iter().map(|a| a.abs()).sum::<f64>().max(1e-12);
+            / self
+                .direction
+                .iter()
+                .map(|a| a.abs())
+                .sum::<f64>()
+                .max(1e-12);
         unit(1.0 / (1.0 + (-self.slope * (s - self.offset)).exp()))
     }
 
@@ -174,7 +179,10 @@ pub struct SmoothXor {
 impl SmoothXor {
     /// Classic two-input smooth XOR.
     pub fn classic() -> Self {
-        SmoothXor { d: 2, sharpness: 8.0 }
+        SmoothXor {
+            d: 2,
+            sharpness: 8.0,
+        }
     }
 }
 
@@ -225,7 +233,11 @@ impl Quadratic {
     /// # Panics
     /// If coefficient lengths differ.
     pub fn new(linear: Vec<f64>, quad: Vec<f64>) -> Self {
-        assert_eq!(linear.len(), quad.len(), "Quadratic: coefficient length mismatch");
+        assert_eq!(
+            linear.len(),
+            quad.len(),
+            "Quadratic: coefficient length mismatch"
+        );
         let (mut lo, mut hi) = (0.0, 0.0);
         for (&c, &q) in linear.iter().zip(&quad) {
             // extrema of c·t + q·t² over t ∈ [0,1]: endpoints plus the vertex.
@@ -239,7 +251,12 @@ impl Quadratic {
             lo += cands.iter().cloned().fold(f64::INFINITY, f64::min);
             hi += cands.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         }
-        Quadratic { linear, quad, lo, hi }
+        Quadratic {
+            linear,
+            quad,
+            lo,
+            hi,
+        }
     }
 }
 
@@ -345,7 +362,10 @@ mod tests {
 
     #[test]
     fn smooth_xor_matches_truth_table_asymptotically() {
-        let f = SmoothXor { d: 2, sharpness: 50.0 };
+        let f = SmoothXor {
+            d: 2,
+            sharpness: 50.0,
+        };
         assert!(f.eval(&[0.0, 0.0]) < 0.1);
         assert!(f.eval(&[1.0, 1.0]) < 0.1);
         assert!(f.eval(&[1.0, 0.0]) > 0.9);

@@ -19,7 +19,10 @@ use crate::rng::DetRng;
 /// # Panics
 /// If `points_per_axis == 0`, or the total size would overflow `usize`.
 pub fn regular_grid(d: usize, points_per_axis: usize) -> impl Iterator<Item = Vec<f64>> {
-    assert!(points_per_axis > 0, "regular_grid: need at least one point per axis");
+    assert!(
+        points_per_axis > 0,
+        "regular_grid: need at least one point per axis"
+    );
     let total = points_per_axis
         .checked_pow(d as u32)
         .expect("regular_grid: grid size overflows usize");
@@ -33,7 +36,11 @@ pub fn regular_grid(d: usize, points_per_axis: usize) -> impl Iterator<Item = Ve
             .map(|_| {
                 let k = idx % points_per_axis;
                 idx /= points_per_axis;
-                if points_per_axis == 1 { 0.5 } else { k as f64 * step }
+                if points_per_axis == 1 {
+                    0.5
+                } else {
+                    k as f64 * step
+                }
             })
             .collect()
     })
@@ -77,7 +84,7 @@ fn first_primes(n: usize) -> Vec<usize> {
     let mut primes = Vec::with_capacity(n);
     let mut cand = 2usize;
     while primes.len() < n {
-        if primes.iter().all(|&p| cand % p != 0) {
+        if primes.iter().all(|&p| !cand.is_multiple_of(p)) {
             primes.push(cand);
         }
         cand += 1;

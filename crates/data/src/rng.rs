@@ -25,14 +25,18 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = (0..8).map({
-            let mut r = rng(9);
-            move |_| r.gen()
-        }).collect();
-        let b: Vec<u32> = (0..8).map({
-            let mut r = rng(9);
-            move |_| r.gen()
-        }).collect();
+        let a: Vec<u32> = (0..8)
+            .map({
+                let mut r = rng(9);
+                move |_| r.gen()
+            })
+            .collect();
+        let b: Vec<u32> = (0..8)
+            .map({
+                let mut r = rng(9);
+                move |_| r.gen()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

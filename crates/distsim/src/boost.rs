@@ -85,7 +85,7 @@ pub fn run_boosted(
     let mut ready_full = 0.0f64;
     for lat in &latencies {
         ready_full += 0.0; // layers gate on the previous ready time
-        ready_full = lat.iter().fold(0.0f64, |m, &t| m.max(t)) + ready_full;
+        ready_full += lat.iter().fold(0.0f64, |m, &t| m.max(t));
     }
     let full_wait_makespan = ready_full;
 
@@ -179,7 +179,10 @@ mod tests {
             &net,
             &[0.4, 0.6],
             &quorums,
-            LatencyModel::Pareto { x_min: 1.0, alpha: 1.2 },
+            LatencyModel::Pareto {
+                x_min: 1.0,
+                alpha: 1.2,
+            },
             1.0,
             &mut rng(102),
         );

@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn constant_is_constant() {
         let mut r = rng(1);
-        assert_eq!(LatencyModel::Constant(2.5).sample_n(10, &mut r), vec![2.5; 10]);
+        assert_eq!(
+            LatencyModel::Constant(2.5).sample_n(10, &mut r),
+            vec![2.5; 10]
+        );
     }
 
     #[test]
@@ -95,7 +98,11 @@ mod tests {
     #[test]
     fn pareto_is_heavy_tailed() {
         let mut r = rng(4);
-        let xs = LatencyModel::Pareto { x_min: 1.0, alpha: 1.5 }.sample_n(20_000, &mut r);
+        let xs = LatencyModel::Pareto {
+            x_min: 1.0,
+            alpha: 1.5,
+        }
+        .sample_n(20_000, &mut r);
         assert!(xs.iter().all(|&t| t >= 1.0));
         // Heavy tail: the max dwarfs the median.
         let mut sorted = xs.clone();

@@ -43,12 +43,7 @@ pub struct RoundRun {
 ///
 /// # Panics
 /// If the plan does not compile against `net` (invalid sites).
-pub fn run_synchronous(
-    net: &Mlp,
-    x: &[f64],
-    plan: &InjectionPlan,
-    capacity: f64,
-) -> RoundRun {
+pub fn run_synchronous(net: &Mlp, x: &[f64], plan: &InjectionPlan, capacity: f64) -> RoundRun {
     let compiled = CompiledPlan::compile(plan, net, capacity).expect("invalid plan");
     run_synchronous_compiled(net, x, &compiled, plan)
 }

@@ -66,6 +66,7 @@ impl std::error::Error for ThreadedError {}
 ///
 /// # Panics
 /// If `x.len() != net.input_dim()`.
+#[allow(clippy::needless_range_loop)] // (l, j) index channels taken by value
 pub fn run_threaded(
     net: &Mlp,
     x: &[f64],

@@ -19,11 +19,11 @@
 use neurofail_data::rng::DetRng;
 use neurofail_nn::activation::Activation;
 use neurofail_nn::layer::DenseLayer;
-use neurofail_nn::network::{Layer, Mlp, Workspace};
+use neurofail_nn::network::{BatchWorkspace, Layer, Mlp};
 use neurofail_tensor::Matrix;
 
 use crate::executor::CompiledPlan;
-use crate::input_search::{maximize, SearchConfig};
+use crate::input_search::{maximize_batch, SearchConfig};
 use crate::plan::InjectionPlan;
 
 /// Rank layer `layer`'s neurons by the magnitude of their strongest
@@ -67,7 +67,11 @@ pub fn rank_by_outgoing_weight(net: &Mlp, layer: usize, positive: bool) -> Vec<u
 /// summed outgoing weight magnitude is larger.
 pub fn worst_crash_plan(net: &Mlp, layer: usize, k: usize) -> InjectionPlan {
     let widths = net.widths();
-    assert!(k <= widths[layer], "cannot crash {k} of {} neurons", widths[layer]);
+    assert!(
+        k <= widths[layer],
+        "cannot crash {k} of {} neurons",
+        widths[layer]
+    );
     let weight_of = |i: usize| -> f64 {
         if layer + 1 == widths.len() {
             net.output_weights()[i]
@@ -102,26 +106,23 @@ pub fn worst_crash_plan(net: &Mlp, layer: usize, k: usize) -> InjectionPlan {
 
 /// Search the input cube for the disturbance maximiser of a compiled plan:
 /// `argmax_X |F_neu(X) − F_fail(X)|`. Returns `(worst error, input)`.
+///
+/// Runs the lockstep multi-restart driver: every coordinate step evaluates
+/// the whole restart frontier (`2 × restarts` candidate inputs) through one
+/// batched [`CompiledPlan::output_error_batch`] call, reusing a single
+/// [`BatchWorkspace`] across the entire search.
 pub fn adversarial_input(
     net: &Mlp,
     plan: &CompiledPlan,
     cfg: &SearchConfig,
     rng: &mut DetRng,
 ) -> (f64, Vec<f64>) {
-    // One workspace reused across objective evaluations via RefCell-free
-    // interior: coordinate ascent is sequential, so a fresh workspace per
-    // closure call would also work — we trade one allocation per call for
-    // simplicity here because `maximize` owns the call pattern.
     let d = net.input_dim();
-    maximize(
-        d,
-        |x| {
-            let mut ws = Workspace::for_net(net);
-            plan.output_error(net, x, &mut ws)
-        },
-        cfg,
-        rng,
-    )
+    // Shape-agnostic: the driver's first call evaluates `restarts` rows and
+    // later calls 2× the live frontier, so let the engine size the buffers
+    // on first use instead of guessing (wrongly) here.
+    let mut ws = BatchWorkspace::default();
+    maximize_batch(d, |xs| plan.output_error_batch(net, xs, &mut ws), cfg, rng)
 }
 
 /// The tightness witness of Theorem 1: a single layer of `n` sigmoid
@@ -179,14 +180,12 @@ mod tests {
         assert!((bound - 0.2).abs() < 1e-12);
         let plan = worst_crash_plan(&net, 0, f);
         let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
-        let (worst, x) = adversarial_input(
-            &net,
-            &compiled,
-            &SearchConfig::default(),
-            &mut rng(80),
-        );
+        let (worst, x) = adversarial_input(&net, &compiled, &SearchConfig::default(), &mut rng(80));
         // Saturated sigmoids: measured ≥ 99% of the tight bound, never above.
-        assert!(worst <= bound + 1e-12, "measured {worst} above bound {bound}");
+        assert!(
+            worst <= bound + 1e-12,
+            "measured {worst} above bound {bound}"
+        );
         assert!(
             worst > 0.99 * bound,
             "tightness not approached: {worst} vs {bound}"
@@ -195,9 +194,13 @@ mod tests {
         // paper's "broadcasting the highest possible value" equality case.
         // (With gain 50 the centre input already saturates, so the search
         // need not move towards the corner.)
-        let mut ws = Workspace::for_net(&net);
+        let mut ws = neurofail_nn::Workspace::for_net(&net);
         let _ = net.forward_ws(&x, &mut ws);
-        assert!(ws.outs[0].iter().all(|&y| y > 0.999), "outputs {:?}", ws.outs[0]);
+        assert!(
+            ws.outs[0].iter().all(|&y| y > 0.999),
+            "outputs {:?}",
+            ws.outs[0]
+        );
     }
 
     #[test]

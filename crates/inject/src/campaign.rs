@@ -10,9 +10,9 @@
 //! count).
 
 use neurofail_data::rng::rng as det_rng;
-use neurofail_nn::{Mlp, Workspace};
+use neurofail_nn::{BatchWorkspace, Mlp};
 use neurofail_par::{parallel_map, Parallelism, SeedSequence};
-use neurofail_tensor::OnlineStats;
+use neurofail_tensor::{Matrix, OnlineStats};
 use serde::{Deserialize, Serialize};
 
 use crate::executor::CompiledPlan;
@@ -84,11 +84,27 @@ pub enum TrialKind {
     },
 }
 
+/// Upper bound on rows evaluated per batched call inside a trial: keeps a
+/// worker's workspace at O(MAX_EVAL_BATCH · Σ N_l) no matter how large
+/// `inputs_per_trial` is, while leaving typical campaigns (≤ 1024 inputs
+/// per trial) as a single batch.
+const MAX_EVAL_BATCH: usize = 1024;
+
 /// Run a campaign: `cfg.trials` random plans with the given per-layer
-/// `counts`, each evaluated on `cfg.inputs_per_trial` uniform inputs.
+/// `counts`, each compiled once and evaluated over its whole
+/// `cfg.inputs_per_trial` input set in batched calls
+/// ([`CompiledPlan::output_error_batch`]; one call when the input set fits
+/// [`MAX_EVAL_BATCH`]) — the compile-once / run-many shape the batched
+/// engine exists for.
 ///
 /// `counts` has `L` entries for [`TrialKind::Neurons`] and `L + 1` for
 /// [`TrialKind::Synapses`].
+///
+/// Determinism: the per-trial seed derivation (plan draw, then the input
+/// batch in row order) is unchanged from the scalar engine, and batched
+/// row results are bitwise independent of batching — so campaign results
+/// are identical for every `Parallelism` policy, and any reported worst
+/// case replays exactly through a singleton batch.
 ///
 /// # Panics
 /// On count/shape mismatches (see the samplers).
@@ -100,38 +116,49 @@ pub fn run_campaign(
     policy: Parallelism,
 ) -> CampaignResult {
     let seeds = SeedSequence::new(cfg.seed);
-    let per_trial: Vec<(OnlineStats, Option<WorstCase>)> =
-        parallel_map(policy, cfg.trials, |t| {
-            let mut rng = det_rng(seeds.seed_for(t as u64));
-            let plan = match kind {
-                TrialKind::Neurons(spec) => sample_neuron_plan(net, counts, spec, &mut rng),
-                TrialKind::Synapses { byzantine } => {
-                    sample_synapse_plan(net, counts, byzantine, cfg.capacity, &mut rng)
-                }
-            };
-            let compiled = CompiledPlan::compile(&plan, net, cfg.capacity)
-                .expect("sampler produced an invalid plan");
-            let mut ws = Workspace::for_net(net);
-            let mut stats = OnlineStats::new();
-            let mut worst: Option<WorstCase> = None;
-            let d = net.input_dim();
-            let mut x = vec![0.0; d];
-            for _ in 0..cfg.inputs_per_trial {
-                for xi in &mut x {
-                    *xi = rand::Rng::gen_range(&mut rng, 0.0..=1.0);
-                }
-                let err = compiled.output_error(net, &x, &mut ws);
+    let d = net.input_dim();
+    let per_trial: Vec<(OnlineStats, Option<WorstCase>)> = parallel_map(policy, cfg.trials, |t| {
+        let mut rng = det_rng(seeds.seed_for(t as u64));
+        let plan = match kind {
+            TrialKind::Neurons(spec) => sample_neuron_plan(net, counts, spec, &mut rng),
+            TrialKind::Synapses { byzantine } => {
+                sample_synapse_plan(net, counts, byzantine, cfg.capacity, &mut rng)
+            }
+        };
+        let compiled = CompiledPlan::compile(&plan, net, cfg.capacity)
+            .expect("sampler produced an invalid plan");
+        // Inputs are drawn in row-major stream order (identical to the
+        // scalar engine's draw order), one MAX_EVAL_BATCH chunk at a time,
+        // each evaluated before the next is drawn — per-worker memory is
+        // O(MAX_EVAL_BATCH · d + Σ N_l) no matter how large the trial is.
+        // Drawing and evaluation never interleave on the RNG, and rows are
+        // bitwise independent of the batch they ride in, so chunking never
+        // changes a result.
+        let mut ws = BatchWorkspace::for_net(net, cfg.inputs_per_trial.min(MAX_EVAL_BATCH));
+        let mut stats = OnlineStats::new();
+        let mut worst: Option<WorstCase> = None;
+        let mut remaining = cfg.inputs_per_trial;
+        while remaining > 0 {
+            let n = remaining.min(MAX_EVAL_BATCH);
+            let mut chunk = Matrix::zeros(n, d);
+            for xi in chunk.data_mut() {
+                *xi = rand::Rng::gen_range(&mut rng, 0.0..=1.0);
+            }
+            let errors = compiled.output_error_batch(net, &chunk, &mut ws);
+            for (b, &err) in errors.iter().enumerate() {
                 stats.push(err);
                 if worst.as_ref().map(|w| err > w.error).unwrap_or(true) {
                     worst = Some(WorstCase {
                         error: err,
-                        input: x.clone(),
+                        input: chunk.row(b).to_vec(),
                         plan: plan.clone(),
                     });
                 }
             }
-            (stats, worst)
-        });
+            remaining -= n;
+        }
+        (stats, worst)
+    });
 
     let mut stats = OnlineStats::new();
     let mut worst: Option<WorstCase> = None;
@@ -262,6 +289,37 @@ mod tests {
                 res.max_error()
             );
         }
+    }
+
+    #[test]
+    fn chunked_trials_report_a_replayable_worst_case() {
+        // inputs_per_trial above MAX_EVAL_BATCH forces the bounded-memory
+        // chunked path; the reported worst (plan, input) must still replay
+        // bitwise (guards the chunk→row index mapping).
+        let net = MlpBuilder::new(2)
+            .dense(4, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Uniform { a: 0.4 })
+            .bias(false)
+            .build(&mut rng(61));
+        let cfg = CampaignConfig {
+            trials: 2,
+            inputs_per_trial: MAX_EVAL_BATCH + 77,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(
+            &net,
+            &[1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        );
+        assert_eq!(res.evaluations, 2 * (MAX_EVAL_BATCH as u64 + 77));
+        let worst = res.worst.expect("faults were injected");
+        let compiled = CompiledPlan::compile(&worst.plan, &net, cfg.capacity).unwrap();
+        let single = neurofail_tensor::Matrix::from_vec(1, 2, worst.input.clone());
+        let mut ws = neurofail_nn::BatchWorkspace::for_net(&net, 1);
+        let replay = compiled.output_error_batch(&net, &single, &mut ws);
+        assert_eq!(replay[0], worst.error);
     }
 
     #[test]

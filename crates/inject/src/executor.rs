@@ -15,12 +15,11 @@
 //! The measured quantity downstream is `|F_neu(X) − F_fail(X)|` — the
 //! left-hand side of Theorem 2's inequality.
 
-use neurofail_nn::{Mlp, Tap, Workspace};
+use neurofail_nn::{BatchTap, BatchWorkspace, Mlp, Tap, Workspace};
 use neurofail_par::seed::splitmix64;
+use neurofail_tensor::Matrix;
 
-use crate::plan::{
-    ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault, SynapseTarget,
-};
+use crate::plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault, SynapseTarget};
 
 /// Plan/network mismatch reported at compile time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,10 +105,7 @@ impl CompiledPlan {
                     neuron: s.neuron,
                 });
             }
-            if neuron_sites[s.layer]
-                .iter()
-                .any(|&(n, _)| n == s.neuron)
-            {
+            if neuron_sites[s.layer].iter().any(|&(n, _)| n == s.neuron) {
                 return Err(PlanError::DuplicateNeuron {
                     layer: s.layer,
                     neuron: s.neuron,
@@ -185,24 +181,69 @@ impl CompiledPlan {
         let faulty = self.run(net, x, ws);
         (nominal - faulty).abs()
     }
+
+    /// Run the faulty forward pass over a whole batch (rows of `xs`),
+    /// returning `F_fail(x_b)` per row — one GEMM-based pass for the plan
+    /// instead of `B` scalar passes. Row `b`'s value is bitwise independent
+    /// of the batch it rides in (the engine's determinism contract), so a
+    /// campaign observation replays exactly as a singleton batch.
+    pub fn run_batch(&self, net: &Mlp, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
+        let mut tap = BatchInjectorTap { plan: self };
+        net.forward_batch_tapped(xs, ws, &mut tap)
+    }
+
+    /// Batched `|F_neu(x_b) − F_fail(x_b)|`: one nominal batched pass plus
+    /// one faulty batched pass over the plan's whole input set — the
+    /// campaign/exhaustive/search hot loop.
+    pub fn output_error_batch(&self, net: &Mlp, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
+        let mut errors = net.forward_batch(xs, ws);
+        let faulty = self.run_batch(net, xs, ws);
+        for (e, f) in errors.iter_mut().zip(&faulty) {
+            *e = (*e - f).abs();
+        }
+        errors
+    }
 }
 
-/// The Tap adapter applying a compiled plan during a forward pass.
-struct InjectorTap<'a> {
-    plan: &'a CompiledPlan,
-}
-
-impl InjectorTap<'_> {
+impl CompiledPlan {
     fn clamp(&self, v: f64) -> f64 {
-        v.clamp(-self.plan.capacity, self.plan.capacity)
+        v.clamp(-self.capacity, self.capacity)
     }
 
     /// Deterministic "arbitrary" value for a Random-strategy site.
     fn site_value(&self, seed: u64, layer: usize, neuron: usize) -> f64 {
         let h = splitmix64(seed ^ splitmix64((layer as u64) << 32 | neuron as u64));
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-        self.plan.capacity * (2.0 * unit - 1.0)
+        self.capacity * (2.0 * unit - 1.0)
     }
+
+    /// The value a faulty neuron broadcasts given its `nominal` output —
+    /// the single Definition-2 resolution shared by the scalar and batched
+    /// taps, so the batch/scalar equivalence contract cannot drift when a
+    /// fault kind is added or its semantics change.
+    fn neuron_fault_value(
+        &self,
+        fault: NeuronFault,
+        nominal: f64,
+        layer: usize,
+        neuron: usize,
+    ) -> f64 {
+        match fault {
+            NeuronFault::Crash => 0.0,
+            NeuronFault::StuckAt(v) => self.clamp(v),
+            NeuronFault::Byzantine(strategy) => match strategy {
+                ByzantineStrategy::MaxPositive => self.capacity,
+                ByzantineStrategy::MaxNegative => -self.capacity,
+                ByzantineStrategy::OpposeNominal => -self.capacity * nominal.signum(),
+                ByzantineStrategy::Random { seed } => self.site_value(seed, layer, neuron),
+            },
+        }
+    }
+}
+
+/// The Tap adapter applying a compiled plan during a forward pass.
+struct InjectorTap<'a> {
+    plan: &'a CompiledPlan,
 }
 
 impl Tap for InjectorTap<'_> {
@@ -216,7 +257,7 @@ impl Tap for InjectorTap<'_> {
                     sums[to] -= weight * input[from];
                 }
                 ResolvedSynapseFault::Byzantine(delta) => {
-                    sums[to] += self.clamp(delta);
+                    sums[to] += self.plan.clamp(delta);
                 }
             }
         }
@@ -225,18 +266,7 @@ impl Tap for InjectorTap<'_> {
     fn post_activation(&mut self, layer: usize, outputs: &mut [f64]) {
         for &(neuron, fault) in &self.plan.neuron_sites[layer] {
             let nominal = outputs[neuron];
-            outputs[neuron] = match fault {
-                NeuronFault::Crash => 0.0,
-                NeuronFault::StuckAt(v) => self.clamp(v),
-                NeuronFault::Byzantine(strategy) => match strategy {
-                    ByzantineStrategy::MaxPositive => self.plan.capacity,
-                    ByzantineStrategy::MaxNegative => -self.plan.capacity,
-                    ByzantineStrategy::OpposeNominal => {
-                        -self.plan.capacity * nominal.signum()
-                    }
-                    ByzantineStrategy::Random { seed } => self.site_value(seed, layer, neuron),
-                },
-            };
+            outputs[neuron] = self.plan.neuron_fault_value(fault, nominal, layer, neuron);
         }
     }
 
@@ -247,7 +277,68 @@ impl Tap for InjectorTap<'_> {
                     *sum -= weight * last_out[from];
                 }
                 ResolvedSynapseFault::Byzantine(delta) => {
-                    *sum += self.clamp(delta);
+                    *sum += self.plan.clamp(delta);
+                }
+            }
+        }
+    }
+}
+
+/// The BatchTap adapter applying a compiled plan to a whole batch: the same
+/// fault semantics as [`InjectorTap`], applied per batch row. Site values
+/// (e.g. the Random strategy's deterministic "arbitrary" value) depend only
+/// on the site, exactly as in the scalar path, so a plan disturbs every
+/// batch item identically to a scalar execution.
+struct BatchInjectorTap<'a> {
+    plan: &'a CompiledPlan,
+}
+
+impl BatchTap for BatchInjectorTap<'_> {
+    fn pre_activation(&mut self, layer: usize, input: &Matrix, sums: &mut Matrix) {
+        for &(to, from, fault) in &self.plan.synapse_sites[layer] {
+            match fault {
+                ResolvedSynapseFault::Crash { weight } => {
+                    for b in 0..sums.rows() {
+                        let removed = weight * input.get(b, from);
+                        sums.set(b, to, sums.get(b, to) - removed);
+                    }
+                }
+                ResolvedSynapseFault::Byzantine(delta) => {
+                    let delta = self.plan.clamp(delta);
+                    for b in 0..sums.rows() {
+                        sums.set(b, to, sums.get(b, to) + delta);
+                    }
+                }
+            }
+        }
+    }
+
+    fn post_activation(&mut self, layer: usize, outputs: &mut Matrix) {
+        for &(neuron, fault) in &self.plan.neuron_sites[layer] {
+            for b in 0..outputs.rows() {
+                let nominal = outputs.get(b, neuron);
+                outputs.set(
+                    b,
+                    neuron,
+                    self.plan.neuron_fault_value(fault, nominal, layer, neuron),
+                );
+            }
+        }
+    }
+
+    fn output_sum(&mut self, last_out: &Matrix, sums: &mut [f64]) {
+        for &(from, fault) in &self.plan.output_sites {
+            match fault {
+                ResolvedSynapseFault::Crash { weight } => {
+                    for (b, s) in sums.iter_mut().enumerate() {
+                        *s -= weight * last_out.get(b, from);
+                    }
+                }
+                ResolvedSynapseFault::Byzantine(delta) => {
+                    let delta = self.plan.clamp(delta);
+                    for s in sums.iter_mut() {
+                        *s += delta;
+                    }
                 }
             }
         }
@@ -332,7 +423,8 @@ mod tests {
     #[test]
     fn random_strategy_is_deterministic_and_bounded() {
         let net = linear_net();
-        let plan = InjectionPlan::byzantine([(0, 0), (0, 1)], ByzantineStrategy::Random { seed: 5 });
+        let plan =
+            InjectionPlan::byzantine([(0, 0), (0, 1)], ByzantineStrategy::Random { seed: 5 });
         let c = CompiledPlan::compile(&plan, &net, 0.7).unwrap();
         let mut ws = Workspace::for_net(&net);
         let a = c.run(&net, &[0.3, 0.3], &mut ws);
@@ -349,7 +441,11 @@ mod tests {
             neurons: vec![],
             synapses: vec![
                 SynapseSite {
-                    target: SynapseTarget::Hidden { layer: 0, to: 0, from: 1 },
+                    target: SynapseTarget::Hidden {
+                        layer: 0,
+                        to: 0,
+                        from: 1,
+                    },
                     fault: SynapseFault::Byzantine(0.25),
                 },
                 SynapseSite {
@@ -371,7 +467,11 @@ mod tests {
             neurons: vec![],
             synapses: vec![
                 SynapseSite {
-                    target: SynapseTarget::Hidden { layer: 0, to: 1, from: 1 },
+                    target: SynapseTarget::Hidden {
+                        layer: 0,
+                        to: 1,
+                        from: 1,
+                    },
                     fault: SynapseFault::Crash,
                 },
                 SynapseSite {
@@ -425,6 +525,76 @@ mod tests {
             CompiledPlan::compile(&bad_syn, &net, 1.0),
             Err(PlanError::BadSynapse(_))
         ));
+    }
+
+    #[test]
+    fn run_batch_matches_scalar_run_for_every_fault_kind() {
+        let net = linear_net();
+        let plans = vec![
+            InjectionPlan::none(),
+            InjectionPlan::crash([(0, 1)]),
+            InjectionPlan::byzantine([(0, 0)], ByzantineStrategy::MaxNegative),
+            InjectionPlan::byzantine([(0, 1)], ByzantineStrategy::OpposeNominal),
+            InjectionPlan::byzantine([(0, 0), (0, 1)], ByzantineStrategy::Random { seed: 5 }),
+            InjectionPlan {
+                neurons: vec![NeuronSite {
+                    layer: 0,
+                    neuron: 0,
+                    fault: NeuronFault::StuckAt(0.3),
+                }],
+                synapses: vec![
+                    SynapseSite {
+                        target: SynapseTarget::Hidden {
+                            layer: 0,
+                            to: 0,
+                            from: 1,
+                        },
+                        fault: SynapseFault::Byzantine(0.25),
+                    },
+                    SynapseSite {
+                        target: SynapseTarget::Hidden {
+                            layer: 0,
+                            to: 1,
+                            from: 1,
+                        },
+                        fault: SynapseFault::Crash,
+                    },
+                    SynapseSite {
+                        target: SynapseTarget::Output { from: 0 },
+                        fault: SynapseFault::Crash,
+                    },
+                    SynapseSite {
+                        target: SynapseTarget::Output { from: 1 },
+                        fault: SynapseFault::Byzantine(-4.0),
+                    },
+                ],
+            },
+        ];
+        let xs = Matrix::from_vec(4, 2, vec![0.5, 0.25, 0.0, 0.0, -0.3, 0.8, 1.0, -1.0]);
+        let mut ws = Workspace::for_net(&net);
+        let mut bws = BatchWorkspace::for_net(&net, 4);
+        for plan in &plans {
+            let c = CompiledPlan::compile(plan, &net, 1.0).unwrap();
+            let batch = c.run_batch(&net, &xs, &mut bws);
+            let errors = c.output_error_batch(&net, &xs, &mut bws);
+            for b in 0..xs.rows() {
+                let scalar = c.run(&net, xs.row(b), &mut ws);
+                // Identity activations and ≤2-term sums: exact agreement.
+                assert_eq!(batch[b], scalar, "plan {plan:?}, row {b}");
+                let scalar_err = c.output_error(&net, xs.row(b), &mut ws);
+                assert_eq!(errors[b], scalar_err, "plan {plan:?}, row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_error_batch_handles_empty_batch() {
+        let net = linear_net();
+        let c = CompiledPlan::compile(&InjectionPlan::crash([(0, 0)]), &net, 1.0).unwrap();
+        let mut bws = BatchWorkspace::default();
+        assert!(c
+            .output_error_batch(&net, &Matrix::zeros(0, 2), &mut bws)
+            .is_empty());
     }
 
     #[test]

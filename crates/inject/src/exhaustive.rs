@@ -8,7 +8,8 @@
 //! explosion". This module implements that alternative (within a budget) so
 //! experiment E14 can *measure* the explosion against the O(L) bound.
 
-use neurofail_nn::{Mlp, Workspace};
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_tensor::Matrix;
 
 use crate::executor::CompiledPlan;
 use crate::plan::InjectionPlan;
@@ -27,11 +28,7 @@ pub struct Combinations {
 impl Combinations {
     /// All `k`-subsets of `{0, …, n−1}` (empty iterator when `k > n`).
     pub fn new(n: usize, k: usize) -> Self {
-        let state = if k <= n {
-            Some((0..k).collect())
-        } else {
-            None
-        };
+        let state = if k <= n { Some((0..k).collect()) } else { None };
         Combinations { n, k, state }
     }
 }
@@ -90,8 +87,11 @@ pub struct ExhaustiveResult {
 }
 
 /// Evaluate **every** `k`-subset of layer `layer`'s neurons as a crash set,
-/// over the given inputs, and return the worst disturbance. Cost is
-/// `C(N_layer, k) × inputs.len()` forward passes — the explosion itself.
+/// over the given inputs, and return the worst disturbance. The input set
+/// is staged into one batch matrix and each compiled subset plan is
+/// evaluated over it in a single batched call, but the count remains
+/// `C(N_layer, k) × inputs.len()` evaluations — the explosion itself, now
+/// priced at the engine's best per-evaluation rate.
 ///
 /// # Panics
 /// If `layer` is out of range or `k` exceeds the layer width.
@@ -104,17 +104,32 @@ pub fn exhaustive_crash_search(
 ) -> ExhaustiveResult {
     let widths = net.widths();
     assert!(layer < widths.len(), "layer {layer} out of range");
-    assert!(k <= widths[layer], "k = {k} exceeds layer width {}", widths[layer]);
-    let mut ws = Workspace::for_net(net);
+    assert!(
+        k <= widths[layer],
+        "k = {k} exceeds layer width {}",
+        widths[layer]
+    );
+    let d = net.input_dim();
+    let mut xs = Matrix::zeros(inputs.len(), d);
+    for (row, x) in inputs.iter().enumerate() {
+        assert_eq!(x.len(), d, "input {row}: dimension mismatch");
+        xs.row_mut(row).copy_from_slice(x);
+    }
+    let mut ws = BatchWorkspace::for_net(net, inputs.len());
+    // The nominal outputs are plan-independent: compute them once and diff
+    // every subset's faulty pass against them (bitwise identical to
+    // per-subset `output_error_batch`, at half the forward passes).
+    let nominal = net.forward_batch(&xs, &mut ws);
     let mut worst_error = 0.0f64;
     let mut worst_subset = Vec::new();
     let mut evaluations = 0u64;
     for subset in Combinations::new(widths[layer], k) {
         let plan = InjectionPlan::crash(subset.iter().map(|&n| (layer, n)));
         let compiled = CompiledPlan::compile(&plan, net, capacity).expect("valid subset");
-        for x in inputs {
-            let err = compiled.output_error(net, x, &mut ws);
-            evaluations += 1;
+        let faulty = compiled.run_batch(net, &xs, &mut ws);
+        evaluations += faulty.len() as u64;
+        for (&nom, &fail) in nominal.iter().zip(&faulty) {
+            let err = (nom - fail).abs();
             if err > worst_error {
                 worst_error = err;
                 worst_subset = subset.clone();

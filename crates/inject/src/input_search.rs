@@ -6,8 +6,15 @@
 //! `[0,1]^d`: multi-start coordinate ascent with geometric step shrinking —
 //! crude, deterministic, and effective on the smooth objectives produced by
 //! sigmoidal networks.
+//!
+//! Two drivers share the search logic: [`maximize`] walks one restart at a
+//! time against a scalar objective (kept for generic callers), while
+//! [`maximize_batch`] runs every restart in lockstep and hands the whole
+//! frontier of candidate points to a **batched** objective per coordinate —
+//! the shape `CompiledPlan::output_error_batch` evaluates at GEMM speed.
 
 use neurofail_data::rng::DetRng;
+use neurofail_tensor::Matrix;
 use rand::Rng;
 
 /// Search budget.
@@ -45,15 +52,7 @@ pub fn maximize(
     let mut best_val = f64::NEG_INFINITY;
     let mut best_x = vec![0.5; d];
     for start in 0..cfg.restarts.max(1) {
-        let mut x: Vec<f64> = if start == 0 {
-            vec![0.5; d]
-        } else if start == 1 {
-            vec![1.0; d]
-        } else if start == 2 {
-            vec![0.0; d]
-        } else {
-            (0..d).map(|_| rng.gen_range(0.0..=1.0)).collect()
-        };
+        let mut x = start_point(start, d, rng);
         let mut val = objective(&x);
         let mut step = cfg.init_step;
         for _ in 0..cfg.sweeps {
@@ -84,6 +83,134 @@ pub fn maximize(
         if val > best_val {
             best_val = val;
             best_x = x;
+        }
+    }
+    (best_val, best_x)
+}
+
+/// The per-restart starting point used by both drivers: centre, all-ones
+/// and all-zeros for the first three restarts, uniform draws afterwards.
+fn start_point(start: usize, d: usize, rng: &mut DetRng) -> Vec<f64> {
+    match start {
+        0 => vec![0.5; d],
+        1 => vec![1.0; d],
+        2 => vec![0.0; d],
+        _ => (0..d).map(|_| rng.gen_range(0.0..=1.0)).collect(),
+    }
+}
+
+/// One restart's coordinate-ascent state.
+struct Restart {
+    x: Vec<f64>,
+    val: f64,
+    step: f64,
+    sweeps_left: usize,
+    improved_this_sweep: bool,
+    done: bool,
+}
+
+/// Maximise a **batched** objective over `[0,1]^d`; returns
+/// `(best value, argmax)`.
+///
+/// `objective` receives a matrix of candidate points (one per row) and
+/// returns their values in row order. All restarts run in lockstep: each
+/// coordinate step evaluates the up/down candidates of every live restart
+/// in one batch, so an objective backed by the batched engine amortises a
+/// full forward pass across `2 × restarts` points. The search trajectory
+/// per restart is the same hill climb as [`maximize`] (same starts, same
+/// accept-first-improvement rule, same step schedule); only the evaluation
+/// grouping differs.
+///
+/// # Panics
+/// If `d == 0`.
+pub fn maximize_batch(
+    d: usize,
+    mut objective: impl FnMut(&Matrix) -> Vec<f64>,
+    cfg: &SearchConfig,
+    rng: &mut DetRng,
+) -> (f64, Vec<f64>) {
+    assert!(d > 0, "maximize: need at least one dimension");
+    let restarts = cfg.restarts.max(1);
+    let mut starts = Matrix::zeros(restarts, d);
+    for r in 0..restarts {
+        starts.row_mut(r).copy_from_slice(&start_point(r, d, rng));
+    }
+    let initial = objective(&starts);
+    let mut states: Vec<Restart> = (0..restarts)
+        .map(|r| Restart {
+            x: starts.row(r).to_vec(),
+            val: initial[r],
+            step: cfg.init_step,
+            sweeps_left: cfg.sweeps,
+            improved_this_sweep: false,
+            done: cfg.sweeps == 0,
+        })
+        .collect();
+
+    let mut candidates = Matrix::zeros(0, d);
+    while states.iter().any(|s| !s.done) {
+        for s in states.iter_mut().filter(|s| !s.done) {
+            s.improved_this_sweep = false;
+        }
+        for i in 0..d {
+            let live: Vec<usize> = (0..states.len()).filter(|&r| !states[r].done).collect();
+            if live.is_empty() {
+                break;
+            }
+            // Rows 2r / 2r+1: restart live[r]'s up/down candidates.
+            if candidates.rows() != 2 * live.len() {
+                candidates = Matrix::zeros(2 * live.len(), d);
+            }
+            for (slot, &r) in live.iter().enumerate() {
+                let s = &states[r];
+                let up = candidates.row_mut(2 * slot);
+                up.copy_from_slice(&s.x);
+                up[i] = (s.x[i] + s.step).min(1.0);
+                let down = candidates.row_mut(2 * slot + 1);
+                down.copy_from_slice(&s.x);
+                down[i] = (s.x[i] - s.step).max(0.0);
+            }
+            let values = objective(&candidates);
+            for (slot, &r) in live.iter().enumerate() {
+                let s = &mut states[r];
+                let orig = s.x[i];
+                let (up, v_up) = (candidates.get(2 * slot, i), values[2 * slot]);
+                let (down, v_down) = (candidates.get(2 * slot + 1, i), values[2 * slot + 1]);
+                // Same accept-first-improvement rule as the scalar driver:
+                // try +step, then −step; skip candidates equal to the
+                // current point.
+                if up != orig && v_up > s.val {
+                    s.x[i] = up;
+                    s.val = v_up;
+                    s.improved_this_sweep = true;
+                } else if down != orig && v_down > s.val {
+                    s.x[i] = down;
+                    s.val = v_down;
+                    s.improved_this_sweep = true;
+                }
+            }
+        }
+        for s in states.iter_mut().filter(|s| !s.done) {
+            s.sweeps_left -= 1;
+            if !s.improved_this_sweep {
+                s.step *= 0.5;
+                if s.step < 1e-4 {
+                    s.done = true;
+                }
+            }
+            if s.sweeps_left == 0 {
+                s.done = true;
+            }
+        }
+    }
+
+    // First strictly-better restart wins ties — the scalar driver's rule.
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_x = vec![0.5; d];
+    for s in states {
+        if s.val > best_val {
+            best_val = s.val;
+            best_x = s.x;
         }
     }
     (best_val, best_x)
@@ -145,5 +272,42 @@ mod tests {
             &mut rng(73),
         );
         assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Wrap a scalar objective as a batched one (row-wise evaluation).
+    fn rowwise(f: impl Fn(&[f64]) -> f64) -> impl FnMut(&Matrix) -> Vec<f64> {
+        move |xs: &Matrix| xs.rows_iter().map(&f).collect()
+    }
+
+    #[test]
+    fn batch_driver_matches_scalar_driver_exactly() {
+        // With a deterministic objective evaluated identically in both
+        // drivers, the lockstep search must reproduce the scalar search's
+        // result bit for bit: same starts, same accept rule, same steps.
+        let objectives: Vec<fn(&[f64]) -> f64> = vec![
+            |x| 2.0 * x[0] - x[1] + 0.3 * x[2],
+            |x| {
+                let dx = x[0] - 0.3;
+                let dy = x[1] - 0.7;
+                (-8.0 * (dx * dx + dy * dy)).exp() - 0.1 * x[2]
+            },
+            |x| x.iter().map(|v| (v - 0.4).abs()).sum::<f64>(),
+        ];
+        for (i, f) in objectives.into_iter().enumerate() {
+            let cfg = SearchConfig::default();
+            let scalar = maximize(3, f, &cfg, &mut rng(90 + i as u64));
+            let batched = maximize_batch(3, rowwise(f), &cfg, &mut rng(90 + i as u64));
+            assert_eq!(scalar, batched, "objective {i}");
+        }
+    }
+
+    #[test]
+    fn batch_driver_is_deterministic() {
+        let f = |x: &[f64]| x.iter().sum::<f64>();
+        let a = maximize_batch(4, rowwise(f), &SearchConfig::default(), &mut rng(74));
+        let b = maximize_batch(4, rowwise(f), &SearchConfig::default(), &mut rng(74));
+        assert_eq!(a, b);
+        assert!(a.1.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((a.0 - 4.0).abs() < 1e-3);
     }
 }

@@ -197,7 +197,11 @@ mod tests {
             neurons: vec![],
             synapses: vec![
                 SynapseSite {
-                    target: SynapseTarget::Hidden { layer: 1, to: 0, from: 2 },
+                    target: SynapseTarget::Hidden {
+                        layer: 1,
+                        to: 0,
+                        from: 2,
+                    },
                     fault: SynapseFault::Crash,
                 },
                 SynapseSite {

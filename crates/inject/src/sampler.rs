@@ -36,11 +36,15 @@ impl FaultSpec {
     fn to_fault(self, rng: &mut DetRng) -> NeuronFault {
         match self {
             FaultSpec::Crash => NeuronFault::Crash,
-            FaultSpec::ByzantineMaxPositive => NeuronFault::Byzantine(ByzantineStrategy::MaxPositive),
-            FaultSpec::ByzantineMaxNegative => NeuronFault::Byzantine(ByzantineStrategy::MaxNegative),
-            FaultSpec::ByzantineRandom => NeuronFault::Byzantine(ByzantineStrategy::Random {
-                seed: rng.gen(),
-            }),
+            FaultSpec::ByzantineMaxPositive => {
+                NeuronFault::Byzantine(ByzantineStrategy::MaxPositive)
+            }
+            FaultSpec::ByzantineMaxNegative => {
+                NeuronFault::Byzantine(ByzantineStrategy::MaxNegative)
+            }
+            FaultSpec::ByzantineRandom => {
+                NeuronFault::Byzantine(ByzantineStrategy::Random { seed: rng.gen() })
+            }
             FaultSpec::ByzantineOpposeNominal => {
                 NeuronFault::Byzantine(ByzantineStrategy::OpposeNominal)
             }
@@ -64,7 +68,10 @@ pub fn sample_neuron_plan(
     assert_eq!(counts.len(), widths.len(), "counts/depth mismatch");
     let mut neurons = Vec::new();
     for (layer, (&count, &width)) in counts.iter().zip(&widths).enumerate() {
-        assert!(count <= width, "layer {layer}: {count} faults > {width} neurons");
+        assert!(
+            count <= width,
+            "layer {layer}: {count} faults > {width} neurons"
+        );
         let mut idx: Vec<usize> = (0..width).collect();
         idx.shuffle(rng);
         for &neuron in idx.iter().take(count) {
@@ -101,7 +108,11 @@ pub fn sample_synapse_plan(
     assert_eq!(counts.len(), depth + 1, "need depth+1 synapse counts");
     let mut synapses = Vec::new();
     for layer in 0..depth {
-        let fan_in = if layer == 0 { net.input_dim() } else { widths[layer - 1] };
+        let fan_in = if layer == 0 {
+            net.input_dim()
+        } else {
+            widths[layer - 1]
+        };
         let population = fan_in * widths[layer];
         assert!(
             counts[layer] <= population,

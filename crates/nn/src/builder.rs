@@ -36,14 +36,24 @@ pub struct MlpBuilder {
 
 #[derive(Debug, Clone)]
 enum LayerSpec {
-    Dense { n: usize, act: Activation },
-    Conv1d { channels: usize, width: usize, act: Activation },
+    Dense {
+        n: usize,
+        act: Activation,
+    },
+    Conv1d {
+        channels: usize,
+        width: usize,
+        act: Activation,
+    },
 }
 
 impl MlpBuilder {
     /// Start a network over `d` input clients.
     pub fn new(input_dim: usize) -> Self {
-        assert!(input_dim > 0, "MlpBuilder: input dimension must be positive");
+        assert!(
+            input_dim > 0,
+            "MlpBuilder: input dimension must be positive"
+        );
         MlpBuilder {
             input_dim,
             specs: Vec::new(),
@@ -62,8 +72,15 @@ impl MlpBuilder {
 
     /// Append a 1-D convolutional layer (`channels` kernels of `width`).
     pub fn conv1d(mut self, channels: usize, width: usize, act: Activation) -> Self {
-        assert!(channels > 0 && width > 0, "MlpBuilder: conv shape must be positive");
-        self.specs.push(LayerSpec::Conv1d { channels, width, act });
+        assert!(
+            channels > 0 && width > 0,
+            "MlpBuilder: conv shape must be positive"
+        );
+        self.specs.push(LayerSpec::Conv1d {
+            channels,
+            width,
+            act,
+        });
         self
     }
 
@@ -93,7 +110,10 @@ impl MlpBuilder {
     /// If no layers were specified, or a conv layer's kernel exceeds its
     /// input length.
     pub fn build(self, rng: &mut impl Rng) -> Mlp {
-        assert!(!self.specs.is_empty(), "MlpBuilder: need at least one layer");
+        assert!(
+            !self.specs.is_empty(),
+            "MlpBuilder: need at least one layer"
+        );
         let mut layers = Vec::with_capacity(self.specs.len());
         let mut in_dim = self.input_dim;
         for spec in &self.specs {
@@ -103,8 +123,14 @@ impl MlpBuilder {
                     in_dim = n;
                     Layer::Dense(l)
                 }
-                LayerSpec::Conv1d { channels, width, act } => {
-                    let l = Conv1dLayer::random(in_dim, channels, width, act, self.init, self.bias, rng);
+                LayerSpec::Conv1d {
+                    channels,
+                    width,
+                    act,
+                } => {
+                    let l = Conv1dLayer::random(
+                        in_dim, channels, width, act, self.init, self.bias, rng,
+                    );
                     in_dim = l.out_dim();
                     Layer::Conv1d(l)
                 }

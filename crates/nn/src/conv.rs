@@ -146,7 +146,8 @@ impl Conv1dLayer {
             let b = self.bias.get(ch).copied().unwrap_or(0.0);
             let base = ch * positions;
             for t in 0..positions {
-                sums[base + t] = neurofail_tensor::ops::dot(kernel, &input[t..t + kernel.len()]) + b;
+                sums[base + t] =
+                    neurofail_tensor::ops::dot(kernel, &input[t..t + kernel.len()]) + b;
             }
         }
     }
@@ -270,6 +271,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // j indexes the layer view, not just a slice
     fn weight_view_matches_sparse_dense_equivalent() {
         let l = edge_detector();
         // Output j=1 covers inputs 1..=2 with kernel [1,-1].
@@ -302,6 +304,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (ch, u) index the kernel matrix
     fn backward_matches_finite_differences() {
         let l = Conv1dLayer::new(
             Matrix::from_vec(2, 2, vec![0.4, -0.3, 0.2, 0.6]),

@@ -126,7 +126,11 @@ impl DenseLayer {
     /// If buffer lengths do not match the layer shape.
     pub fn forward_into(&self, input: &[f64], sums: &mut [f64], out: &mut [f64]) {
         self.sums_into(input, sums);
-        assert_eq!(out.len(), sums.len(), "forward_into: output buffer mismatch");
+        assert_eq!(
+            out.len(),
+            sums.len(),
+            "forward_into: output buffer mismatch"
+        );
         for (o, &s) in out.iter_mut().zip(sums.iter()) {
             *o = self.activation.apply(s);
         }
@@ -141,6 +145,7 @@ impl DenseLayer {
     ///
     /// # Panics
     /// If buffer shapes do not match.
+    #[allow(clippy::too_many_arguments)]
     pub fn backward(
         &self,
         input: &[f64],
@@ -264,6 +269,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (j, i) index the layer, not just slices
     fn backward_gradients_match_finite_differences() {
         let mut l = tiny();
         l.activation = Activation::Sigmoid { k: 1.0 };
@@ -283,7 +289,15 @@ mod tests {
         let mut gb = vec![0.0; 2];
         let mut scratch = vec![0.0; 2];
         let mut dx = vec![0.0; 3];
-        l.backward(&x, &sums, &[1.0, 2.0], &mut gw, &mut gb, &mut scratch, &mut dx);
+        l.backward(
+            &x,
+            &sums,
+            &[1.0, 2.0],
+            &mut gw,
+            &mut gb,
+            &mut scratch,
+            &mut dx,
+        );
 
         let h = 1e-6;
         for j in 0..2 {
@@ -320,7 +334,15 @@ mod tests {
         let mut gb = vec![0.0; 2];
         let mut scratch = vec![0.0; 2];
         let mut dx = vec![0.0; 3];
-        l.backward(&x, &sums, &[1.0, -1.0], &mut gw, &mut gb, &mut scratch, &mut dx);
+        l.backward(
+            &x,
+            &sums,
+            &[1.0, -1.0],
+            &mut gw,
+            &mut gb,
+            &mut scratch,
+            &mut dx,
+        );
 
         let h = 1e-6;
         let eval = |x: &[f64]| {

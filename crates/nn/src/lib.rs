@@ -11,7 +11,11 @@
 //! * [`network`] — the [`network::Mlp`]: `L` layers plus a *linear output
 //!   client node* (Equation 1), with [`network::Tap`] hooks exposing both
 //!   failure sites of the paper's model (post-activation neuron outputs and
-//!   pre-activation synapse sums) to the fault-injection engine.
+//!   pre-activation synapse sums) to the fault-injection engine. The
+//!   batched twin — [`network::BatchWorkspace`], [`network::BatchTap`] and
+//!   [`network::Mlp::forward_batch`] — evaluates whole input batches
+//!   through one GEMM + one vectorised activation sweep per layer, and is
+//!   the substrate of every campaign-scale workload in `neurofail-inject`.
 //! * [`topology`] — extraction of `(L, N_l, w_m^(l), K, sup ϕ)`, everything
 //!   the analytical bounds need ("computing this quantity only requires
 //!   looking at the topology of the network").
@@ -36,5 +40,5 @@ pub mod train;
 
 pub use activation::Activation;
 pub use builder::MlpBuilder;
-pub use network::{Layer, Mlp, NoTap, Tap, Workspace};
+pub use network::{BatchTap, BatchWorkspace, Layer, Mlp, NoBatchTap, NoTap, Tap, Workspace};
 pub use topology::Topology;

@@ -89,8 +89,16 @@ impl BackpropWs {
     /// Allocate buffers shaped like `net`.
     pub fn for_net(net: &Mlp) -> Self {
         BackpropWs {
-            dout: net.layers().iter().map(|l| vec![0.0; l.out_dim()]).collect(),
-            scratch: net.layers().iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+            dout: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.out_dim()])
+                .collect(),
+            scratch: net
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.out_dim()])
+                .collect(),
         }
     }
 }
@@ -229,7 +237,10 @@ mod tests {
                 };
                 let fd = (eval(&bump(&net, h)) - eval(&bump(&net, -h))) / (2.0 * h);
                 let got = grads.layers[l].w.get(r, c);
-                assert!((got - fd).abs() < 1e-4, "layer {l} w[{r}][{c}]: {got} vs {fd}");
+                assert!(
+                    (got - fd).abs() < 1e-4,
+                    "layer {l} w[{r}][{c}]: {got} vs {fd}"
+                );
             }
         }
     }

@@ -148,7 +148,11 @@ fn apply_update(net: &mut Mlp, cfg: &TrainConfig, grads: &Grads, velocity: &mut 
             }
             Layer::Conv1d(c) => (c.kernels.data_mut(), &mut c.bias),
         };
-        for ((wi, vi), &gi) in w.iter_mut().zip(lv.w.data_mut().iter_mut()).zip(lg.w.data()) {
+        for ((wi, vi), &gi) in w
+            .iter_mut()
+            .zip(lv.w.data_mut().iter_mut())
+            .zip(lg.w.data())
+        {
             step(wi, vi, gi);
         }
         for ((bi, vi), &gi) in b.iter_mut().zip(&mut lv.b).zip(&lg.b) {
@@ -280,7 +284,11 @@ mod tests {
         // And it still learns something.
         let target = Ridge::canonical(2);
         let sup = data.sup_error(|x| fep.forward(x));
-        assert!(sup < 0.5, "fep-trained net unusable: sup={sup} on {}", target.name());
+        assert!(
+            sup < 0.5,
+            "fep-trained net unusable: sup={sup} on {}",
+            target.name()
+        );
     }
 
     #[test]

@@ -142,10 +142,7 @@ where
 
     let mut parts = parts.into_inner();
     parts.sort_unstable_by_key(|(first, _)| *first);
-    parts
-        .into_iter()
-        .map(|(_, acc)| acc)
-        .fold(init, |a, b| combine(a, b))
+    parts.into_iter().map(|(_, acc)| acc).fold(init, combine)
 }
 
 /// Sum `f(i)` over `0..len` with Neumaier-compensated accumulation.
@@ -221,10 +218,7 @@ mod tests {
     fn map_len_not_multiple_of_chunk() {
         // 1009 is prime: exercises the ragged final chunk.
         let expected: Vec<usize> = (0..1009).collect();
-        assert_eq!(
-            parallel_map(Parallelism::Threads(4), 1009, |i| i),
-            expected
-        );
+        assert_eq!(parallel_map(Parallelism::Threads(4), 1009, |i| i), expected);
     }
 
     #[test]
@@ -252,7 +246,13 @@ mod tests {
     fn reduce_max_is_deterministic() {
         let vals: Vec<f64> = (0..3000).map(|i| ((i * 37) % 101) as f64).collect();
         for &p in POLICIES {
-            let m = parallel_reduce(p, vals.len(), f64::NEG_INFINITY, |a, i| a.max(vals[i]), f64::max);
+            let m = parallel_reduce(
+                p,
+                vals.len(),
+                f64::NEG_INFINITY,
+                |a, i| a.max(vals[i]),
+                f64::max,
+            );
             assert_eq!(m, 100.0, "policy {p:?}");
         }
     }
@@ -263,7 +263,7 @@ mod tests {
         // (2k, 2k+1) contributes exactly 2k: both 1e16 and -1e16 + 2k are
         // exactly representable (ulp at 1e16 is 2 and 2k is even).
         let f = |i: usize| {
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 1e16
             } else {
                 -1e16 + (i - 1) as f64

@@ -6,20 +6,15 @@
 /// thread ([`Parallelism::Sequential`]) or on a fixed number of scoped worker
 /// threads ([`Parallelism::Threads`]). Results are bit-identical across
 /// policies; only wall-clock time changes (this is asserted by tests).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
     /// Run on the calling thread. The default: cheap, deterministic,
     /// debugger-friendly.
+    #[default]
     Sequential,
     /// Run on `n` scoped worker threads (`n >= 1`). `Threads(1)` spawns a
     /// single worker and is mainly useful for testing the parallel path.
     Threads(usize),
-}
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::Sequential
-    }
 }
 
 impl Parallelism {

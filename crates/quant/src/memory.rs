@@ -46,9 +46,7 @@ pub fn memory_report(net: &Mlp, weight_bits: u32, activation_bits: u32) -> Memor
     for layer in net.layers() {
         weight_values += match layer {
             Layer::Dense(d) => (d.weights().rows() * d.weights().cols() + d.bias().len()) as u64,
-            Layer::Conv1d(c) => {
-                (c.kernels().rows() * c.kernels().cols() + c.bias().len()) as u64
-            }
+            Layer::Conv1d(c) => (c.kernels().rows() * c.kernels().cols() + c.bias().len()) as u64,
         };
         activation_values += layer.out_dim() as u64;
     }

@@ -172,29 +172,145 @@ impl Matrix {
         }
     }
 
-    /// Matrix product `self · rhs` (blocked over the shared dimension for
-    /// cache reuse; used by tests and the convolutional im2col path, not by
-    /// the inference hot loop).
+    /// GEMM against a transposed right-hand side: `out = self · rhsᵀ`, with
+    /// `self` `B × K`, `rhs` `N × K` and `out` `B × N` — the kernel of the
+    /// batched evaluation engine, consuming layer weights in their native
+    /// `out_dim × in_dim` layout (no transpose staging).
+    ///
+    /// Every output element is a row-by-row dot product over contiguous
+    /// slices; the kernel tiles four `rhs` rows per pass so each streamed
+    /// `self` chunk is reused from registers, with packed-FMA lane
+    /// accumulators ([`ops::dot_fma`]'s accumulation order exactly). The
+    /// determinism contract: `out[b][j]` is a pure function of
+    /// `(self.row(b), rhs.row(j))`, bitwise — independent of the batch
+    /// size, tile layout and thread count. Campaign reproducibility and
+    /// exact worst-case replay rest on this (asserted by tests).
+    ///
+    /// # Panics
+    /// If `self.cols != rhs.cols`, or `out` is not `self.rows × rhs.rows`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt: inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul_nt: out rows mismatch");
+        assert_eq!(out.cols, rhs.rows, "matmul_nt: out cols mismatch");
+        let k_dim = self.cols;
+        let n = rhs.rows;
+        if k_dim == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        if n == 0 {
+            return;
+        }
+        const JT: usize = 4;
+        const L: usize = ops::LANES;
+        for (a_row, o_row) in self
+            .data
+            .chunks_exact(k_dim)
+            .zip(out.data.chunks_exact_mut(n))
+        {
+            let mut w_blocks = rhs.data.chunks_exact(JT * k_dim);
+            let mut o_blocks = o_row.chunks_exact_mut(JT);
+            for (w_block, oc) in (&mut w_blocks).zip(&mut o_blocks) {
+                let (w0, rest) = w_block.split_at(k_dim);
+                let (w1, rest) = rest.split_at(k_dim);
+                let (w2, w3) = rest.split_at(k_dim);
+                // Four LANES-wide accumulator tiles sharing each streamed
+                // `a` chunk; every tile accumulates exactly like
+                // `ops::dot_fma` on its `(a_row, w_row)` pair. Each tile
+                // gets its own lane loop so the vectoriser packs along
+                // lanes (contiguous loads), not across tiles.
+                let mut acc0 = [0.0f64; L];
+                let mut acc1 = [0.0f64; L];
+                let mut acc2 = [0.0f64; L];
+                let mut acc3 = [0.0f64; L];
+                let mut tails = [0.0f64; JT];
+                let x_chunks = a_row.chunks_exact(L);
+                let x_tail = x_chunks.remainder();
+                for ((((xc, c0), c1), c2), c3) in x_chunks
+                    .zip(w0.chunks_exact(L))
+                    .zip(w1.chunks_exact(L))
+                    .zip(w2.chunks_exact(L))
+                    .zip(w3.chunks_exact(L))
+                {
+                    let xc: &[f64; L] = xc.try_into().expect("chunk is L wide");
+                    let c0: &[f64; L] = c0.try_into().expect("chunk is L wide");
+                    let c1: &[f64; L] = c1.try_into().expect("chunk is L wide");
+                    let c2: &[f64; L] = c2.try_into().expect("chunk is L wide");
+                    let c3: &[f64; L] = c3.try_into().expect("chunk is L wide");
+                    for i in 0..L {
+                        acc0[i] = xc[i].mul_add(c0[i], acc0[i]);
+                    }
+                    for i in 0..L {
+                        acc1[i] = xc[i].mul_add(c1[i], acc1[i]);
+                    }
+                    for i in 0..L {
+                        acc2[i] = xc[i].mul_add(c2[i], acc2[i]);
+                    }
+                    for i in 0..L {
+                        acc3[i] = xc[i].mul_add(c3[i], acc3[i]);
+                    }
+                }
+                let tail_at = k_dim - x_tail.len();
+                for (t, w) in [w0, w1, w2, w3].into_iter().enumerate() {
+                    for (x, y) in x_tail.iter().zip(&w[tail_at..]) {
+                        tails[t] = x.mul_add(*y, tails[t]);
+                    }
+                }
+                for (t, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                    oc[t] = ops::lane_sum(acc) + tails[t];
+                }
+            }
+            // Remaining rhs rows: the same per-pair math, one row at a time.
+            for (w_row, o) in w_blocks
+                .remainder()
+                .chunks_exact(k_dim)
+                .zip(o_blocks.into_remainder().iter_mut())
+            {
+                *o = ops::dot_fma(a_row, w_row);
+            }
+        }
+    }
+
+    /// Matrix product `self · rhs` into a caller-provided buffer.
+    ///
+    /// Loop order is row/`k`/column: each output row accumulates `rhs` rows
+    /// scaled by the matching `self` entry (contiguous `axpy` sweeps the
+    /// compiler vectorises), `k`-sequentially — so each output row's value
+    /// is independent of every other row. Generic path for tests and
+    /// im2col-style uses; the batched engine's hot kernel is
+    /// [`Matrix::matmul_nt_into`].
+    ///
+    /// # Panics
+    /// If `self.cols != rhs.rows`, or `out` is not `self.rows × rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul: out rows mismatch");
+        assert_eq!(out.cols, rhs.cols, "matmul: out cols mismatch");
+        let k_dim = self.cols;
+        let n = rhs.cols;
+        out.data.fill(0.0);
+        if k_dim == 0 || n == 0 {
+            return;
+        }
+        for (a_row, o_row) in self
+            .data
+            .chunks_exact(k_dim)
+            .zip(out.data.chunks_exact_mut(n))
+        {
+            for (&a, w_row) in a_row.iter().zip(rhs.rows_iter()) {
+                ops::axpy(a, w_row, o_row);
+            }
+        }
+    }
+
+    /// Matrix product `self · rhs`, allocating the result (via
+    /// [`Matrix::matmul_into`]).
     ///
     /// # Panics
     /// If `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        const BLOCK: usize = 64;
-        for kb in (0..self.cols).step_by(BLOCK) {
-            let kend = (kb + BLOCK).min(self.cols);
-            for r in 0..self.rows {
-                let a_row = self.row(r);
-                let out_row = out.row_mut(r);
-                for k in kb..kend {
-                    let a = a_row[k];
-                    if a != 0.0 {
-                        ops::axpy(a, rhs.row(k), out_row);
-                    }
-                }
-            }
-        }
+        self.matmul_into(rhs, &mut out);
         out
     }
 
@@ -314,6 +430,91 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_product() {
+        // The engine kernel against the generic path: same math, different
+        // accumulation orders — agreement at normal rounding.
+        for (b, k, n) in [(1usize, 1usize, 1usize), (3, 13, 9), (8, 16, 4), (5, 7, 11)] {
+            let a = Matrix::from_fn(b, k, |r, c| ((r * k + c) as f64 * 0.31).sin());
+            let w = Matrix::from_fn(n, k, |r, c| ((r * k + c) as f64 * 0.17).cos());
+            let mut out = Matrix::zeros(b, n);
+            a.matmul_nt_into(&w, &mut out);
+            let reference = a.matmul(&w.transpose());
+            for r in 0..b {
+                for c in 0..n {
+                    assert!(
+                        (out.get(r, c) - reference.get(r, c)).abs() < 1e-12,
+                        "({b},{k},{n}) at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_elements_match_dot_fma_exactly() {
+        // The determinism contract: out[b][j] is bitwise dot_fma(a_b, w_j)
+        // regardless of tile position, batch size or column count.
+        for (b, k, n) in [(1usize, 5usize, 1usize), (6, 24, 10), (4, 9, 7), (2, 64, 3)] {
+            let a = Matrix::from_fn(b, k, |r, c| ((r * k + c) as f64 * 0.41).sin());
+            let w = Matrix::from_fn(n, k, |r, c| ((r * k + c) as f64 * 0.23).cos());
+            let mut out = Matrix::zeros(b, n);
+            a.matmul_nt_into(&w, &mut out);
+            for r in 0..b {
+                for j in 0..n {
+                    assert_eq!(
+                        out.get(r, j),
+                        ops::dot_fma(a.row(r), w.row(j)),
+                        "({b},{k},{n}) at ({r},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_handles_degenerate_shapes() {
+        let mut out = Matrix::zeros(2, 3);
+        Matrix::from_vec(2, 0, vec![]).matmul_nt_into(&Matrix::from_vec(3, 0, vec![]), &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+        let mut empty = Matrix::zeros(0, 2);
+        Matrix::zeros(0, 4).matmul_nt_into(&Matrix::zeros(2, 4), &mut empty);
+        let mut none = Matrix::zeros(2, 0);
+        Matrix::zeros(2, 4).matmul_nt_into(&Matrix::zeros(0, 4), &mut none);
+    }
+
+    #[test]
+    fn matmul_rows_are_independent_of_row_block_position() {
+        // The batched-engine contract: row b of A·B depends only on
+        // (A.row(b), B), bitwise — never on which 4-row block it landed in
+        // or how many other rows were computed alongside it.
+        let k = 13;
+        let n = 9;
+        let b = Matrix::from_fn(k, n, |r, c| ((r * n + c) as f64).sin());
+        for rows in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let a = Matrix::from_fn(rows, k, |r, c| ((r * k + c) as f64 * 0.37).cos());
+            let full = a.matmul(&b);
+            for r in 0..rows {
+                let single = Matrix::from_vec(1, k, a.row(r).to_vec());
+                assert_eq!(
+                    full.row(r),
+                    single.matmul(&b).row(0),
+                    "rows = {rows}, r = {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_handles_degenerate_shapes() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).rows(), 0);
+        let a = Matrix::from_vec(2, 0, vec![]);
+        let b = Matrix::from_vec(0, 3, vec![]);
+        assert_eq!(a.matmul(&b), Matrix::zeros(2, 3));
     }
 
     proptest! {

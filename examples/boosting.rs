@@ -54,8 +54,20 @@ fn main() {
     println!("\nlatency model     | mean speedup | worst output error");
     for (name, model) in [
         ("exponential      ", LatencyModel::Exponential { mean: 1.0 }),
-        ("pareto alpha=2.0 ", LatencyModel::Pareto { x_min: 0.5, alpha: 2.0 }),
-        ("pareto alpha=1.2 ", LatencyModel::Pareto { x_min: 0.5, alpha: 1.2 }),
+        (
+            "pareto alpha=2.0 ",
+            LatencyModel::Pareto {
+                x_min: 0.5,
+                alpha: 2.0,
+            },
+        ),
+        (
+            "pareto alpha=1.2 ",
+            LatencyModel::Pareto {
+                x_min: 0.5,
+                alpha: 1.2,
+            },
+        ),
     ] {
         let mut rr = rng(17);
         let mut speedup = 0.0;

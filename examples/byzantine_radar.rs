@@ -63,13 +63,19 @@ fn main() {
             },
             Parallelism::all_cores(),
         );
-        println!("  C = {c:>6}: worst classification-score corruption {:.4}", res.max_error());
+        println!(
+            "  C = {c:>6}: worst classification-score corruption {:.4}",
+            res.max_error()
+        );
     }
     println!("  -> unbounded C defeats any fixed accuracy requirement.");
 
     // Theorem 3 with Assumption 1: bounded capacity buys real tolerance.
     let budget = EpsilonBudget::new(eps_prime + 0.1, eps_prime).unwrap();
-    println!("\nTheorem 3 — admissible Byzantine packings (slack {:.3}):", budget.slack());
+    println!(
+        "\nTheorem 3 — admissible Byzantine packings (slack {:.3}):",
+        budget.slack()
+    );
     println!("  C | paper magnitude C | strict magnitude C+1 | measured (strict) <= slack?");
     for c in [0.25, 0.5, 1.0] {
         let profile = NetworkProfile::from_mlp(&deployed, Capacity::Bounded(c)).unwrap();
@@ -98,5 +104,7 @@ fn main() {
             "  {c} | {paper:?} | {strict:?} | measured {measured:.4} (paper-Fep of strict packing: {strict_fep:.4})"
         );
     }
-    println!("\nbounded transmission (Assumption 1) is what makes Byzantine tolerance possible at all.");
+    println!(
+        "\nbounded transmission (Assumption 1) is what makes Byzantine tolerance possible at all."
+    );
 }

@@ -58,12 +58,8 @@ fn main() {
         let bound = crash_fep(&profile, &faults);
         let plan = worst_crash_plan(&deployed, deployed.depth() - 1, fails);
         let compiled = CompiledPlan::compile(&plan, &deployed, 1.0).unwrap();
-        let (worst, at) = adversarial_input(
-            &deployed,
-            &compiled,
-            &SearchConfig::default(),
-            &mut rng(13),
-        );
+        let (worst, at) =
+            adversarial_input(&deployed, &compiled, &SearchConfig::default(), &mut rng(13));
         println!(
             "{fails:>2} | {bound:>15.5} | {worst:>20.5} | {} (worst at alpha={:.2}, q={:.2}, V={:.2})",
             if eps_prime + worst <= eps { "yes" } else { "NO" },
@@ -83,5 +79,8 @@ fn main() {
         deployed.widths()
     );
     let sample = law.eval(&[0.7, 0.6, 0.4]);
-    println!("sample command at (0.7, 0.6, 0.4): law {sample:.4}, network {:.4}", deployed.forward(&[0.7, 0.6, 0.4]));
+    println!(
+        "sample command at (0.7, 0.6, 0.4): law {sample:.4}, network {:.4}",
+        deployed.forward(&[0.7, 0.6, 0.4])
+    );
 }

@@ -1,0 +1,189 @@
+//! Batch/scalar equivalence of the evaluation engine — the refactor's
+//! central contract, checked at workspace level:
+//!
+//! * `Mlp::forward_batch` matches `Mlp::forward_ws` to ≤ 1e-12 per element
+//!   on random networks, batch sizes (including B = 0 and B = 1) and
+//!   activations;
+//! * `CompiledPlan::run_batch` / `output_error_batch` match their scalar
+//!   counterparts to ≤ 1e-12 under random plans;
+//! * batched rows are **bitwise** independent of the batch they ride in
+//!   (replaying any row as a singleton batch reproduces it exactly);
+//! * campaigns on the batched engine stay bit-identical across
+//!   `Parallelism` policies.
+
+use neurofail::data::rng::rng;
+use neurofail::inject::{run_campaign, CampaignConfig, CompiledPlan, FaultSpec, TrialKind};
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::{BatchWorkspace, Mlp, Workspace};
+use neurofail::par::Parallelism;
+use neurofail::tensor::init::Init;
+use neurofail::tensor::Matrix;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Random network from a compact recipe: depth 1–4, widths 3–12, mixed
+/// activations, optional bias.
+fn build_net(seed: u64, depth: usize, width: usize, tanh: bool, bias: bool) -> Mlp {
+    let act = if tanh {
+        Activation::Tanh { k: 0.9 }
+    } else {
+        Activation::Sigmoid { k: 1.1 }
+    };
+    let mut b = MlpBuilder::new(3);
+    for i in 0..depth {
+        b = b.dense(width + (i % 3), act);
+    }
+    b.init(Init::Uniform { a: 0.5 })
+        .bias(bias)
+        .build(&mut rng(seed))
+}
+
+fn random_inputs(seed: u64, batch: usize, d: usize) -> Matrix {
+    let mut r = rng(seed ^ 0xBA7C4);
+    Matrix::from_fn(batch, d, |_, _| r.gen_range(0.0..=1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// forward_batch ≈ forward_ws to 1e-12, for any batch size incl. 0/1.
+    #[test]
+    fn forward_batch_matches_scalar_forward(
+        seed in 0u64..1000,
+        depth in 1usize..5,
+        width in 3usize..13,
+        batch in 0usize..20,
+        tanh in proptest::bool::ANY,
+        bias in proptest::bool::ANY,
+    ) {
+        let net = build_net(seed, depth, width, tanh, bias);
+        let xs = random_inputs(seed, batch, 3);
+        let mut bws = BatchWorkspace::for_net(&net, batch);
+        let ys = net.forward_batch(&xs, &mut bws);
+        prop_assert_eq!(ys.len(), batch);
+        let mut ws = Workspace::for_net(&net);
+        for (b, &y) in ys.iter().enumerate() {
+            let scalar = net.forward_ws(xs.row(b), &mut ws);
+            prop_assert!(
+                (y - scalar).abs() <= 1e-12,
+                "row {}: batched {} vs scalar {}", b, y, scalar
+            );
+        }
+    }
+
+    /// run_batch and output_error_batch ≈ scalar run/output_error under
+    /// random fault plans of every kind.
+    #[test]
+    fn compiled_plan_batch_matches_scalar(
+        seed in 0u64..1000,
+        depth in 1usize..4,
+        width in 3usize..10,
+        batch in 1usize..12,
+        fault_seed in 0u64..100,
+        synapses in proptest::bool::ANY,
+    ) {
+        let net = build_net(seed, depth, width, false, false);
+        let widths = net.widths();
+        let mut r = rng(fault_seed ^ 0xF417);
+        let plan = if synapses {
+            let counts: Vec<usize> = (0..=depth)
+                .map(|i| (fault_seed as usize + i) % 3)
+                .collect();
+            neurofail::inject::sampler::sample_synapse_plan(&net, &counts, true, 1.0, &mut r)
+        } else {
+            let counts: Vec<usize> = widths
+                .iter()
+                .map(|&n| (fault_seed as usize) % (n + 1))
+                .collect();
+            neurofail::inject::sampler::sample_neuron_plan(
+                &net,
+                &counts,
+                FaultSpec::ByzantineOpposeNominal,
+                &mut r,
+            )
+        };
+        let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let xs = random_inputs(seed, batch, 3);
+        let mut bws = BatchWorkspace::for_net(&net, batch);
+        let runs = compiled.run_batch(&net, &xs, &mut bws);
+        let errors = compiled.output_error_batch(&net, &xs, &mut bws);
+        let mut ws = Workspace::for_net(&net);
+        for b in 0..batch {
+            let scalar_run = compiled.run(&net, xs.row(b), &mut ws);
+            let scalar_err = compiled.output_error(&net, xs.row(b), &mut ws);
+            prop_assert!((runs[b] - scalar_run).abs() <= 1e-12, "run row {}", b);
+            prop_assert!((errors[b] - scalar_err).abs() <= 1e-12, "err row {}", b);
+        }
+    }
+
+    /// The bitwise contract: row b of a batched evaluation equals the same
+    /// input evaluated as a singleton batch, exactly.
+    #[test]
+    fn batched_rows_replay_exactly_as_singletons(
+        seed in 0u64..1000,
+        depth in 1usize..4,
+        width in 3usize..10,
+        batch in 1usize..10,
+    ) {
+        let net = build_net(seed, depth, width, true, true);
+        let plan = neurofail::inject::InjectionPlan::crash([(0, 1)]);
+        let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+        let xs = random_inputs(seed, batch, 3);
+        let mut bws = BatchWorkspace::for_net(&net, batch);
+        let full = compiled.output_error_batch(&net, &xs, &mut bws);
+        for (b, &expected) in full.iter().enumerate() {
+            let single = Matrix::from_vec(1, 3, xs.row(b).to_vec());
+            let replay = compiled.output_error_batch(&net, &single, &mut bws);
+            prop_assert_eq!(replay[0], expected, "row {} not bitwise replayable", b);
+        }
+    }
+}
+
+#[test]
+fn batched_campaign_is_bit_identical_across_parallelism() {
+    let net = build_net(11, 3, 8, false, true);
+    let cfg = CampaignConfig {
+        trials: 20,
+        inputs_per_trial: 16,
+        ..CampaignConfig::default()
+    };
+    let reference = run_campaign(
+        &net,
+        &[1, 2, 1],
+        TrialKind::Neurons(FaultSpec::ByzantineRandom),
+        &cfg,
+        Parallelism::Sequential,
+    );
+    for threads in [2usize, 5] {
+        let got = run_campaign(
+            &net,
+            &[1, 2, 1],
+            TrialKind::Neurons(FaultSpec::ByzantineRandom),
+            &cfg,
+            Parallelism::Threads(threads),
+        );
+        assert_eq!(got.stats, reference.stats);
+        assert_eq!(got.worst, reference.worst);
+    }
+}
+
+#[test]
+fn zero_and_one_input_campaigns_work_on_the_batched_engine() {
+    let net = build_net(12, 2, 6, false, false);
+    for inputs_per_trial in [0usize, 1] {
+        let res = run_campaign(
+            &net,
+            &[1, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &CampaignConfig {
+                trials: 4,
+                inputs_per_trial,
+                ..CampaignConfig::default()
+            },
+            Parallelism::Sequential,
+        );
+        assert_eq!(res.evaluations, 4 * inputs_per_trial as u64);
+        assert_eq!(res.worst.is_some(), inputs_per_trial > 0);
+    }
+}

@@ -76,9 +76,13 @@ fn campaigns_are_invariant_across_parallelism_policies() {
 fn campaign_worst_case_is_replayable() {
     // The worst (plan, input) pair reported by a campaign must reproduce
     // its error exactly when re-executed in isolation — campaigns report
-    // evidence, not just statistics.
+    // evidence, not just statistics. Campaigns run on the batched engine,
+    // whose rows are bitwise independent of their batch, so replaying the
+    // worst input as a singleton batch is exact; the scalar engine agrees
+    // to the engines' documented 1e-12 equivalence budget.
     use neurofail::inject::CompiledPlan;
-    use neurofail::nn::Workspace;
+    use neurofail::nn::{BatchWorkspace, Workspace};
+    use neurofail::tensor::Matrix;
 
     let mut r = rng(779);
     let net = MlpBuilder::new(2)
@@ -98,7 +102,15 @@ fn campaign_worst_case_is_replayable() {
     );
     let worst = res.worst.expect("faults were injected");
     let compiled = CompiledPlan::compile(&worst.plan, &net, 1.0).unwrap();
+    let singleton = Matrix::from_vec(1, 2, worst.input.clone());
+    let mut bws = BatchWorkspace::for_net(&net, 1);
+    let replayed = compiled.output_error_batch(&net, &singleton, &mut bws);
+    assert_eq!(replayed[0], worst.error, "batched replay must be bitwise");
     let mut ws = Workspace::for_net(&net);
-    let replayed = compiled.output_error(&net, &worst.input, &mut ws);
-    assert_eq!(replayed, worst.error);
+    let scalar = compiled.output_error(&net, &worst.input, &mut ws);
+    assert!(
+        (scalar - worst.error).abs() <= 1e-12,
+        "scalar replay outside equivalence budget: {scalar} vs {}",
+        worst.error
+    );
 }

@@ -5,14 +5,12 @@
 use std::collections::HashSet;
 
 use neurofail::core::{certify, Capacity, EpsilonBudget, NetworkProfile};
-use neurofail::data::functions::{GaussianBump, TargetFn};
+use neurofail::data::functions::GaussianBump;
 use neurofail::data::rng::rng;
 use neurofail::data::Dataset;
 use neurofail::distsim::rounds::run_synchronous;
 use neurofail::distsim::{run_boosted, run_threaded, LatencyModel};
-use neurofail::inject::{
-    run_campaign, CampaignConfig, FaultSpec, InjectionPlan, TrialKind,
-};
+use neurofail::inject::{run_campaign, CampaignConfig, FaultSpec, InjectionPlan, TrialKind};
 use neurofail::nn::activation::Activation;
 use neurofail::nn::builder::MlpBuilder;
 use neurofail::nn::train::{train, TrainConfig};
@@ -38,7 +36,9 @@ fn trained_net() -> (Mlp, f64) {
 #[test]
 fn train_certify_inject_holds_end_to_end() {
     let (net, eps_prime) = trained_net();
-    let wide = net.replicate(12);
+    // 16× replication: enough head-room that the per-crash Fep of the
+    // trained net (w_out ≈ 1.3 at this seed) fits inside the 0.1 slack.
+    let wide = net.replicate(16);
     let profile = NetworkProfile::from_mlp(&wide, Capacity::Bounded(1.0)).unwrap();
     let budget = EpsilonBudget::new(eps_prime + 0.1, eps_prime).unwrap();
     let cert = certify(&profile, budget);

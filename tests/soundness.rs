@@ -146,8 +146,7 @@ fn fep_is_attained_on_the_saturating_witness() {
         let bound = crash_fep(&profile, &[fails]);
         let plan = worst_crash_plan(&net, 0, fails);
         let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
-        let (worst, _) =
-            adversarial_input(&net, &compiled, &SearchConfig::default(), &mut rng(99));
+        let (worst, _) = adversarial_input(&net, &compiled, &SearchConfig::default(), &mut rng(99));
         assert!(worst <= bound + 1e-12);
         assert!(
             worst >= 0.999 * bound,

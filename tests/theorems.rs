@@ -8,7 +8,7 @@ use neurofail::core::fep::{fep_ln, fep_with_magnitude, per_layer_terms};
 use neurofail::core::overprovision::{nmin_estimate, overprovision_factor};
 use neurofail::core::precision::{precision_bound, ErrorLocus};
 use neurofail::core::synapse::{synapse_fep, SynapseBoundForm};
-use neurofail::core::{crash_fep, fep, Capacity, EpsilonBudget, FaultClass, NetworkProfile};
+use neurofail::core::{crash_fep, fep, EpsilonBudget, FaultClass, NetworkProfile};
 
 fn budget(e: f64, ep: f64) -> EpsilonBudget {
     EpsilonBudget::new(e, ep).unwrap()
@@ -18,7 +18,11 @@ fn budget(e: f64, ep: f64) -> EpsilonBudget {
 fn theorem1_is_the_single_layer_case_of_theorem3() {
     // For L = 1 and C = sup ϕ, Theorem 3's condition Fep <= eps - eps'
     // reduces to Theorem 1's N_fail <= (eps - eps') / w_m.
-    for (n, w, e, ep) in [(50usize, 0.01, 0.3, 0.1), (20, 0.05, 0.5, 0.25), (9, 0.11, 0.9, 0.3)] {
+    for (n, w, e, ep) in [
+        (50usize, 0.01, 0.3, 0.1),
+        (20, 0.05, 0.5, 0.25),
+        (9, 0.11, 0.9, 0.3),
+    ] {
         let p = NetworkProfile::uniform(1, n, w, 1.0, 1.0);
         let b = budget(e, ep);
         let t1 = crash_tolerance_single_layer(b, w).min(n);

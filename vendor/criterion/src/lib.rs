@@ -1,0 +1,254 @@
+//! Minimal in-tree benchmark harness exposing the `criterion` API surface
+//! the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input`, `BenchmarkId` and `black_box`.
+//!
+//! Measurement model: warm up for ~100 ms, then time batches until the
+//! measurement window (default ~400 ms per benchmark) is filled, and report
+//! the mean wall-clock time per iteration. No statistics machinery — the
+//! workspace uses these numbers for before/after throughput comparisons,
+//! recorded in CHANGES.md, not for rigorous regression detection.
+//!
+//! CLI: a single positional argument filters benchmarks by substring
+//! (`cargo bench --bench forward -- campaign`); criterion's own flags are
+//! accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            sample_size: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 0,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(name, &self.filter, self.sample_size, f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; scales the measurement window.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, &self.criterion.filter, self.sample_size, f);
+    }
+
+    /// Run a parameterised benchmark; the parameter is passed to the
+    /// closure (criterion compatibility — most callers re-capture it).
+    pub fn bench_with_input<P: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) {
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, &self.criterion.filter, self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// End the group (prints nothing; groups are purely namespacing here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    /// Total time spent in timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// Measurement window to fill.
+    window: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the measurement window is filled.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until ~100 ms of wall clock have passed.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(100) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size that keeps timer overhead below ~1%.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / (warm_iters as u128);
+        let batch = (100_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        while start.elapsed() < self.window {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    filter: &Option<String>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    // sample_size is a criterion-compatibility knob: larger requested
+    // sample counts get a longer window, smaller get a shorter one.
+    let window_ms = match sample_size {
+        0 => 400,
+        n => (n as u64 * 4).clamp(100, 2_000),
+    };
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        window: Duration::from_millis(window_ms),
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<56} (no iterations)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let (scaled, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns / 1_000_000.0, "ms")
+    };
+    println!(
+        "{name:<56} time: {scaled:>10.3} {unit}/iter  ({} iters)",
+        b.iters
+    );
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        // Shrink the window so the self-test stays fast.
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(25);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &p| {
+            b.iter(|| black_box(p) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 25,
+        };
+        quick(&mut c);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nothing-matches-this".into()),
+            sample_size: 25,
+        };
+        // Would take ~1s per bench if not filtered; the test passing
+        // instantly demonstrates the filter works.
+        let t = std::time::Instant::now();
+        quick(&mut c);
+        assert!(t.elapsed() < Duration::from_millis(200));
+    }
+}

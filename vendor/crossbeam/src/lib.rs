@@ -1,0 +1,94 @@
+//! Minimal in-tree shim providing the `crossbeam` API surface the
+//! workspace uses, built on `std`:
+//!
+//! * [`thread::scope`] — scoped threads returning `Err` (instead of
+//!   unwinding) when a worker panics, as crossbeam does;
+//! * [`channel`] — `unbounded` MPSC channels (`std::sync::mpsc` wrappers).
+
+/// Scoped threads over `std::thread::scope` with crossbeam's
+/// `Result`-returning panic contract.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries a worker's panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a
+    /// reference to it (enabling nested spawns, which the workspace does
+    /// not use but the signature allows).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned workers are joined before this
+    /// returns. A worker panic is captured and returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// MPSC channels with the `crossbeam::channel` construction API.
+pub mod channel {
+    /// Sending half (cloneable).
+    pub use std::sync::mpsc::Sender;
+
+    /// Receiving half.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        let r = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channels_deliver_in_order() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal in-tree replacement for `rand_chacha`: a real ChaCha8 keystream
+//! generator behind the workspace's [`rand`] traits.
+//!
+//! The workspace promises that its deterministic RNG streams are *specified
+//! and stable across platforms and releases*. That property comes from the
+//! ChaCha block function itself (pure 32-bit integer arithmetic) plus the
+//! fixed SplitMix64 seed expansion below — there is no platform-dependent
+//! code path.
+
+/// Re-export of the core traits, mirroring `rand_chacha`'s public
+/// `rand_core` module (used as `rand_chacha::rand_core::SeedableRng`).
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds — the workspace's deterministic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    input: [u32; 16],
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word of `buf` (16 = exhausted).
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut x = self.input;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal).
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, i) in x.iter_mut().zip(&self.input) {
+            *o = o.wrapping_add(*i);
+        }
+        self.buf = x;
+        self.idx = 0;
+        // 64-bit block counter in words 12..13.
+        let (lo, carry) = self.input[12].overflowing_add(1);
+        self.input[12] = lo;
+        if carry {
+            self.input[13] = self.input[13].wrapping_add(1);
+        }
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed into a 256-bit key with SplitMix64 (the same
+        // expansion rand's SeedableRng default uses in spirit).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut input = [0u32; 16];
+        // "expand 32-byte k" constants.
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646E;
+        input[2] = 0x7962_2D32;
+        input[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let k = next();
+            input[4 + 2 * i] = k as u32;
+            input[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            input,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystream_is_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_and_blocks_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Counter advances: consecutive blocks differ.
+        let block1: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let block2: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        assert_ne!(block1, block2);
+    }
+
+    #[test]
+    fn chacha_quarter_round_rfc_vector() {
+        // RFC 7539 §2.1.1 test vector for the quarter round.
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+}

@@ -1,0 +1,414 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree `serde` replacement.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro::TokenStream`. Supported shapes are exactly what
+//! the workspace derives on: non-generic named-field structs and non-generic
+//! enums with unit, tuple and struct variants. Anything else panics at
+//! expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    /// Named-field struct with its field names.
+    Struct(Vec<String>),
+    /// Enum with its variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the number of payload fields.
+    Tuple(usize),
+    /// Struct variant with its field names.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match &shape {
+        Shape::Struct(fields) => serialize_struct(&name, fields),
+        Shape::Enum(variants) => serialize_enum(&name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let code = match &shape {
+        Shape::Struct(fields) => deserialize_struct(&name, fields),
+        Shape::Enum(variants) => deserialize_enum(&name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic types are not supported (offline mini-serde)")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: missing braced body for {name}"),
+        }
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body.stream())),
+        "enum" => Shape::Enum(parse_variants(body.stream())),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume any number of `#[...]` attributes (including doc comments).
+fn skip_attributes(iter: &mut TokenIter) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(_)) => {}
+            other => panic!("serde_derive: malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped by
+/// scanning to the next top-level comma, tracking `<...>` nesting (commas
+/// inside angle brackets belong to the type).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant payload `(TypeA, TypeB, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut segments = 0usize;
+    let mut segment_has_tokens = false;
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Attributes (doc comments on payload fields) do not count as
+        // segment content on their own.
+        skip_attributes(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                angle += 1;
+                segment_has_tokens = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                angle -= 1;
+                segment_has_tokens = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                if segment_has_tokens {
+                    segments += 1;
+                }
+                segment_has_tokens = false;
+            }
+            Some(_) => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\")?)?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let m = v.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let values: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Value::Array(::std::vec![{values}]))]),",
+                        binders.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binders = fields.join(", ");
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Value::Map(::std::vec![{entries}]))]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!(),
+                VariantKind::Tuple(1) => format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(payload)?)),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let inits: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?,"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                             let a = payload.as_array()\
+                                 .ok_or_else(|| ::serde::Error::new(\"expected array for {name}::{vn}\"))?;\n\
+                             if a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(\
+                                     ::serde::Error::new(\"wrong arity for {name}::{vn}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({inits}))\n\
+                         }}"
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::map_get(m, \"{f}\")?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{vn}\" => {{\n\
+                             let m = payload.as_map()\
+                                 .ok_or_else(|| ::serde::Error::new(\"expected map for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                         }}"
+                    )
+                }
+            }
+        })
+        .collect();
+
+    let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+    let has_tagged = variants
+        .iter()
+        .any(|v| !matches!(v.kind, VariantKind::Unit));
+    let str_arm = if has_unit {
+        format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+             }},"
+        )
+    } else {
+        String::new()
+    };
+    let map_arm = if has_tagged {
+        format!(
+            "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }},"
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     {str_arm}\n\
+                     {map_arm}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::new(\
+                         \"unexpected value shape for {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
