@@ -1,0 +1,63 @@
+//! Criterion: training throughput — one SGD epoch through the batched
+//! minibatch-GEMM engine versus the per-sample scalar engine, at the
+//! width/batch grid of the acceptance criterion (w ∈ {64, 256},
+//! B ∈ {16, 64}).
+//!
+//! Each iteration clones the seed network and trains it for exactly one
+//! epoch from a fixed RNG seed, so both engines process identical batch
+//! schedules; the clone cost is common to both sides.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_data::functions::Ridge;
+use neurofail_data::rng::rng;
+use neurofail_data::Dataset;
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::train::{train, TrainConfig, TrainEngine};
+use neurofail_nn::Mlp;
+use neurofail_tensor::init::Init;
+
+const EXAMPLES: usize = 256;
+
+fn build(width: usize) -> (Mlp, Dataset) {
+    let mut r = rng(17);
+    let target = Ridge::canonical(2);
+    let data = Dataset::sample(&target, EXAMPLES, &mut r);
+    let net = MlpBuilder::new(2)
+        .dense(width, Activation::Sigmoid { k: 1.0 })
+        .dense(width, Activation::Sigmoid { k: 1.0 })
+        .dense(width / 2, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    (net, data)
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_epoch");
+    for width in [64usize, 256] {
+        let (net, data) = build(width);
+        for batch in [16usize, 64] {
+            for (name, engine) in [
+                ("batched", TrainEngine::Batched),
+                ("scalar", TrainEngine::PerSample),
+            ] {
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    batch,
+                    engine,
+                    ..TrainConfig::default()
+                };
+                group.bench_function(BenchmarkId::new(format!("{name}_w{width}"), batch), |b| {
+                    b.iter(|| {
+                        let mut n = net.clone();
+                        train(&mut n, black_box(&data), &cfg, &mut rng(5))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_epoch);
+criterion_main!(benches);

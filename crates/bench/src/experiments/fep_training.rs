@@ -11,11 +11,14 @@
 use neurofail_core::tolerance::greedy_max_faults;
 use neurofail_core::{crash_fep, Capacity, EpsilonBudget, FaultClass, NetworkProfile};
 use neurofail_data::functions::Ridge;
+use neurofail_data::grid::halton_matrix;
 use neurofail_data::rng::rng;
 use neurofail_data::Dataset;
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::metrics::sup_error_on_ws;
 use neurofail_nn::train::{train, FepPenalty, TrainConfig};
+use neurofail_nn::BatchWorkspace;
 use neurofail_tensor::init::Init;
 
 use crate::report::{f, Reporter};
@@ -26,6 +29,10 @@ pub fn run() {
     let data = Dataset::sample(&target, 256, &mut rng(0xE15));
     let eps = 0.25;
     let reference_faults = [2usize, 1];
+    // ε' probes share one Halton set and one batch workspace across the
+    // three training configurations.
+    let pts = halton_matrix(2, 256);
+    let mut bws = BatchWorkspace::default();
 
     let mut rep = Reporter::new(
         "fep_training",
@@ -70,7 +77,7 @@ pub fn run() {
             },
             &mut rng(1 + 0xE15),
         );
-        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = sup_error_on_ws(&net, &target, &pts, &mut bws).min(eps - 1e-9);
         let profile = NetworkProfile::from_mlp(&net, Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
         // As in E12, the tolerance column uses the 8× replicated variant.

@@ -11,11 +11,14 @@
 use neurofail_core::tolerance::greedy_max_faults;
 use neurofail_core::{Capacity, EpsilonBudget, FaultClass, NetworkProfile};
 use neurofail_data::functions::Ridge;
+use neurofail_data::grid::halton_matrix;
 use neurofail_data::rng::rng;
 use neurofail_data::Dataset;
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::metrics::sup_error_on_ws;
 use neurofail_nn::train::{train, TrainConfig};
+use neurofail_nn::BatchWorkspace;
 use neurofail_tensor::init::Init;
 
 use crate::report::{f, Reporter};
@@ -25,6 +28,10 @@ pub fn run() {
     let target = Ridge::canonical(2);
     let data = Dataset::sample(&target, 256, &mut rng(0xE12));
     let eps = 0.25;
+    // ε' probes share one Halton set and one batch workspace across both
+    // sweeps (every configuration reuses the same 256 points).
+    let pts = halton_matrix(2, 256);
+    let mut bws = BatchWorkspace::default();
     // Tolerance counts are evaluated on the Corollary-1 replicated (8×)
     // variant: on the compact network itself the worst-case bound admits
     // zero faults at any honest budget, which would hide the K/decay trend.
@@ -56,7 +63,7 @@ pub fn run() {
             },
             &mut rng(1 + 0xE12),
         );
-        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = sup_error_on_ws(&net, &target, &pts, &mut bws).min(eps - 1e-9);
         let profile =
             NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();
@@ -103,7 +110,7 @@ pub fn run() {
             },
             &mut rng(2 + 0xE12),
         );
-        let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, &target, 256).min(eps - 1e-9);
+        let eps_prime = sup_error_on_ws(&net, &target, &pts, &mut bws).min(eps - 1e-9);
         let profile =
             NetworkProfile::from_mlp(&net.replicate(replication), Capacity::Bounded(1.0)).unwrap();
         let budget = EpsilonBudget::new(eps, eps_prime).unwrap();

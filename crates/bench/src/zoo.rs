@@ -8,13 +8,17 @@
 //! polynomial degree of the error in K grows with depth.
 
 use neurofail_data::functions::{GaussianBump, Ridge, SineProduct, SmoothXor, TargetFn};
+use neurofail_data::grid::halton_matrix;
 use neurofail_data::rng::rng;
 use neurofail_data::Dataset;
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
 use neurofail_nn::train::{train, TrainConfig};
-use neurofail_nn::Mlp;
+use neurofail_nn::{BatchWorkspace, Mlp};
 use neurofail_tensor::init::Init;
+
+/// Number of Halton points behind every ε' estimate in the zoo.
+const EPS_PRIME_POINTS: usize = 256;
 
 /// A trained member of the zoo.
 pub struct ZooNet {
@@ -60,6 +64,11 @@ pub fn eight_networks(seed: u64, epochs: usize) -> Vec<ZooNet> {
             sharpness: 6.0,
         }),
     ];
+    // One Halton point set and one batch workspace shared across every ε'
+    // probe (the workspace reshapes itself per network shape; the point set
+    // is regenerated only if a target changes dimension).
+    let mut pts = halton_matrix(targets[0].dim(), EPS_PRIME_POINTS);
+    let mut bws = BatchWorkspace::default();
     zoo_shapes()
         .into_iter()
         .zip(targets)
@@ -77,7 +86,11 @@ pub fn eight_networks(seed: u64, epochs: usize) -> Vec<ZooNet> {
                 ..TrainConfig::default()
             };
             train(&mut net, &data, &cfg, &mut r);
-            let eps_prime = neurofail_nn::metrics::sup_error_halton(&net, target.as_ref(), 256);
+            if pts.cols() != target.dim() {
+                pts = halton_matrix(target.dim(), EPS_PRIME_POINTS);
+            }
+            let eps_prime =
+                neurofail_nn::metrics::sup_error_on_ws(&net, target.as_ref(), &pts, &mut bws);
             ZooNet {
                 name: format!("Net {}", i + 1),
                 net,

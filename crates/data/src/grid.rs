@@ -7,6 +7,7 @@
 //! (regular grid for small `d`, Halton low-discrepancy sequence for larger
 //! `d`) plus uniform Monte-Carlo points.
 
+use neurofail_tensor::Matrix;
 use rand::Rng;
 
 use crate::rng::DetRng;
@@ -66,6 +67,18 @@ pub fn halton_points(d: usize, n: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// First `n` points of the `d`-dimensional Halton sequence packed as an
+/// `n × d` row-major matrix — the batched evaluation engine's native input
+/// layout. Same points, same order as [`halton_points`].
+pub fn halton_matrix(d: usize, n: usize) -> Matrix {
+    let bases = first_primes(d);
+    let mut data = Vec::with_capacity(n * d);
+    for i in 1..=n {
+        data.extend(bases.iter().map(|&b| radical_inverse(i, b)));
+    }
+    Matrix::from_vec(n, d, data)
+}
+
 /// Van der Corput radical inverse of `i` in base `b`.
 fn radical_inverse(mut i: usize, b: usize) -> f64 {
     let mut f = 1.0;
@@ -120,6 +133,17 @@ mod tests {
     fn regular_grid_covers_each_axis_value() {
         let pts: Vec<_> = regular_grid(1, 3).collect();
         assert_eq!(pts, vec![vec![0.0], vec![0.5], vec![1.0]]);
+    }
+
+    #[test]
+    fn halton_matrix_matches_halton_points() {
+        let pts = halton_points(3, 40);
+        let m = halton_matrix(3, 40);
+        assert_eq!(m.rows(), 40);
+        assert_eq!(m.cols(), 3);
+        for (r, p) in pts.iter().enumerate() {
+            assert_eq!(m.row(r), p.as_slice(), "row {r}");
+        }
     }
 
     #[test]

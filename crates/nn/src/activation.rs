@@ -77,6 +77,48 @@ impl Activation {
         }
     }
 
+    /// Evaluate ϕ′ over a whole buffer: `out[i] = ϕ′(sums[i])`, given both
+    /// the pre-activation `sums` and the already-computed activations `ys`
+    /// (`ys[i] = ϕ(sums[i])`).
+    ///
+    /// The batched backward pass's elementwise stage. For the squashing
+    /// activations ϕ′ is an algebraic function of ϕ — `4K·y(1−y)` for the
+    /// K-tuned sigmoid, `K(1−y²)` for tanh — so reusing the forward pass's
+    /// stored outputs eliminates every transcendental call from the
+    /// backward sweep (the scalar path re-enters `libm` per neuron per
+    /// example). Agreement with the scalar [`Activation::derivative`] is
+    /// within ~1 ulp, inherited from the `vsigmoid`/`vtanh` forward
+    /// kernels. `sums` is consulted only where ϕ′ genuinely needs the
+    /// pre-activation (ReLU's kink). Saturated derivatives below
+    /// [`neurofail_tensor::ops::SATURATION_FLUSH`] snap to exact 0, so dead
+    /// neurons contribute exact-zero deltas instead of sub-`1e−150` noise
+    /// that would drag the backward GEMMs into subnormal-assist stalls.
+    ///
+    /// # Panics
+    /// If the three slice lengths differ.
+    pub fn derivative_slice(&self, sums: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(sums.len(), out.len(), "derivative_slice: length mismatch");
+        assert_eq!(ys.len(), out.len(), "derivative_slice: length mismatch");
+        use neurofail_tensor::ops::flush_tiny;
+        match *self {
+            Activation::Sigmoid { k } => {
+                let g = 4.0 * k;
+                for (o, &y) in out.iter_mut().zip(ys) {
+                    *o = flush_tiny(g * y * (1.0 - y));
+                }
+            }
+            Activation::Tanh { k } => {
+                for (o, &y) in out.iter_mut().zip(ys) {
+                    *o = flush_tiny(k * (1.0 - y * y));
+                }
+            }
+            Activation::Relu => {
+                neurofail_tensor::ops::map_into(sums, out, |s| if s > 0.0 { 1.0 } else { 0.0 })
+            }
+            Activation::Identity => out.fill(1.0),
+        }
+    }
+
     /// Evaluate ϕ′(x) (for backpropagation), as a function of the
     /// *pre-activation* input x.
     #[inline]
@@ -254,6 +296,27 @@ mod tests {
             for (&x, &got) in xs.iter().zip(&out) {
                 let want = a.apply(x);
                 assert!((got - want).abs() <= 1e-14, "{a:?} at {x}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_slice_matches_scalar_derivative() {
+        let sums: Vec<f64> = (-150..=150).map(|i| i as f64 * 0.09).collect();
+        let mut ys = vec![0.0; sums.len()];
+        let mut ds = vec![0.0; sums.len()];
+        for a in [
+            Activation::Sigmoid { k: 0.25 },
+            Activation::Sigmoid { k: 3.0 },
+            Activation::Tanh { k: 1.4 },
+            Activation::Relu,
+            Activation::Identity,
+        ] {
+            a.apply_slice(&sums, &mut ys);
+            a.derivative_slice(&sums, &ys, &mut ds);
+            for (&s, &got) in sums.iter().zip(&ds) {
+                let want = a.derivative(s);
+                assert!((got - want).abs() <= 1e-13, "{a:?} at {s}: {got} vs {want}");
             }
         }
     }

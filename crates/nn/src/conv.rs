@@ -175,18 +175,33 @@ impl Conv1dLayer {
         dsum_scratch: &mut [f64],
         dinput: &mut [f64],
     ) {
-        let positions = self.positions();
-        let width = self.kernels.cols();
         for ((d, &g), &s) in dsum_scratch.iter_mut().zip(dout).zip(sums) {
             *d = g * self.activation.derivative(s);
         }
+        self.backward_from_dsum(input, dsum_scratch, grad_k, grad_b, dinput);
+    }
+
+    /// The parameter/input-gradient half of [`Conv1dLayer::backward`], given
+    /// an already-computed `∂L/∂sums` — the entry point of the batched
+    /// trainer, whose elementwise derivative stage runs once over the whole
+    /// `B × N_l` buffer before the per-row accumulation here.
+    pub fn backward_from_dsum(
+        &self,
+        input: &[f64],
+        dsum: &[f64],
+        grad_k: &mut Matrix,
+        grad_b: &mut [f64],
+        dinput: &mut [f64],
+    ) {
+        let positions = self.positions();
+        let width = self.kernels.cols();
         if !dinput.is_empty() {
             dinput.fill(0.0);
         }
         for ch in 0..self.kernels.rows() {
             let base = ch * positions;
             for t in 0..positions {
-                let d = dsum_scratch[base + t];
+                let d = dsum[base + t];
                 if d == 0.0 {
                     continue;
                 }

@@ -4,56 +4,125 @@
 //! `X ∈ [0,1]^d`. These helpers estimate the sup-norm on deterministic
 //! point sets (grid or Halton; see `neurofail-data::grid`), which is the
 //! standard tractable proxy the experiments use for ε'.
+//!
+//! Every metric evaluates its whole point set through the batched engine
+//! ([`Mlp::forward_batch`]: one GEMM + one vectorised activation sweep per
+//! layer) rather than a per-point scalar loop. The `*_ws` variants take the
+//! point set as an `n × d` matrix plus a caller-provided [`BatchWorkspace`],
+//! so sweeps that probe ε' repeatedly (the zoo, the trade-off experiments)
+//! pay for point generation and buffer allocation once; the workspace
+//! reshapes itself if the network shape changes between calls.
 
 use neurofail_data::functions::TargetFn;
 use neurofail_data::grid;
+use neurofail_tensor::Matrix;
 
-use crate::network::{Mlp, Workspace};
+use crate::network::{BatchWorkspace, Mlp};
 
-/// Estimated `sup_X |F(X) − F_neu(X)|` over `points`.
+/// Estimated `sup_X |F(X) − F_neu(X)|` over the rows of `xs`, through a
+/// caller-provided batch workspace.
+///
+/// # Panics
+/// If `xs.cols()` does not match the network/target dimension.
+pub fn sup_error_on_ws(
+    net: &Mlp,
+    target: &dyn TargetFn,
+    xs: &Matrix,
+    ws: &mut BatchWorkspace,
+) -> f64 {
+    let preds = net.forward_batch(xs, ws);
+    preds
+        .iter()
+        .zip(xs.rows_iter())
+        .fold(0.0f64, |worst, (&p, x)| {
+            worst.max((p - target.eval(x)).abs())
+        })
+}
+
+/// Estimated `sup_X |F(X) − F_neu(X)|` over `points` (convenience wrapper:
+/// packs the points into a batch and allocates a workspace).
 pub fn sup_error_on<'a>(
     net: &Mlp,
     target: &dyn TargetFn,
     points: impl Iterator<Item = &'a Vec<f64>>,
 ) -> f64 {
-    let mut ws = Workspace::for_net(net);
-    let mut worst = 0.0f64;
-    for x in points {
-        let err = (net.forward_ws(x, &mut ws) - target.eval(x)).abs();
-        worst = worst.max(err);
-    }
-    worst
+    let xs = pack(net.input_dim(), points);
+    let mut ws = BatchWorkspace::for_net(net, xs.rows());
+    sup_error_on_ws(net, target, &xs, &mut ws)
 }
 
 /// Sup-error over a Halton low-discrepancy set of `n` points — the default
 /// ε' estimator for experiments (deterministic, dimension-robust).
 pub fn sup_error_halton(net: &Mlp, target: &dyn TargetFn, n: usize) -> f64 {
-    let pts = grid::halton_points(target.dim(), n);
-    sup_error_on(net, target, pts.iter())
+    let xs = grid::halton_matrix(target.dim(), n);
+    let mut ws = BatchWorkspace::for_net(net, n);
+    sup_error_on_ws(net, target, &xs, &mut ws)
 }
 
 /// Sup-error over a regular grid with `per_axis` points per axis (use for
-/// small `d` only: cost is `per_axis^d`).
+/// small `d` only: cost is `per_axis^d`). The grid is streamed through the
+/// batched engine in fixed-size chunks, so arbitrarily large grids never
+/// materialise in memory.
 pub fn sup_error_grid(net: &Mlp, target: &dyn TargetFn, per_axis: usize) -> f64 {
-    let mut ws = Workspace::for_net(net);
+    const CHUNK: usize = 256;
+    let d = target.dim();
+    let mut ws = BatchWorkspace::default();
+    let mut xs = Matrix::zeros(CHUNK, d);
     let mut worst = 0.0f64;
-    for x in grid::regular_grid(target.dim(), per_axis) {
-        let err = (net.forward_ws(&x, &mut ws) - target.eval(&x)).abs();
-        worst = worst.max(err);
+    let mut grid_points = grid::regular_grid(d, per_axis);
+    loop {
+        let mut n = 0;
+        for p in grid_points.by_ref().take(CHUNK) {
+            xs.row_mut(n).copy_from_slice(&p);
+            n += 1;
+        }
+        if n == 0 {
+            break;
+        }
+        if n < CHUNK {
+            // Final short chunk: shrink once and finish.
+            xs = Matrix::from_vec(n, d, xs.data()[..n * d].to_vec());
+        }
+        worst = worst.max(sup_error_on_ws(net, target, &xs, &mut ws));
+        if xs.rows() < CHUNK {
+            break;
+        }
     }
     worst
 }
 
+/// Mean squared error over the rows of `xs`, through a caller-provided
+/// batch workspace (`0.0` for an empty point set).
+pub fn mse_on_ws(net: &Mlp, target: &dyn TargetFn, xs: &Matrix, ws: &mut BatchWorkspace) -> f64 {
+    let preds = net.forward_batch(xs, ws);
+    let acc: f64 = preds
+        .iter()
+        .zip(xs.rows_iter())
+        .map(|(&p, x)| {
+            let e = p - target.eval(x);
+            e * e
+        })
+        .sum();
+    acc / xs.rows().max(1) as f64
+}
+
 /// Mean squared error over a Halton set of `n` points.
 pub fn mse_halton(net: &Mlp, target: &dyn TargetFn, n: usize) -> f64 {
-    let pts = grid::halton_points(target.dim(), n);
-    let mut ws = Workspace::for_net(net);
-    let mut acc = 0.0;
-    for x in &pts {
-        let e = net.forward_ws(x, &mut ws) - target.eval(x);
-        acc += e * e;
+    let xs = grid::halton_matrix(target.dim(), n);
+    let mut ws = BatchWorkspace::for_net(net, n);
+    mse_on_ws(net, target, &xs, &mut ws)
+}
+
+/// Pack an iterator of points into an `n × d` batch matrix.
+fn pack<'a>(d: usize, points: impl Iterator<Item = &'a Vec<f64>>) -> Matrix {
+    let mut data = Vec::new();
+    let mut n = 0;
+    for p in points {
+        assert_eq!(p.len(), d, "metrics: point dimension {} != {d}", p.len());
+        data.extend_from_slice(p);
+        n += 1;
     }
-    acc / pts.len().max(1) as f64
+    Matrix::from_vec(n, d, data)
 }
 
 #[cfg(test)]
@@ -61,6 +130,7 @@ mod tests {
     use super::*;
     use crate::activation::Activation;
     use crate::builder::MlpBuilder;
+    use crate::network::Workspace;
     use neurofail_data::functions::ConstantHalf;
     use neurofail_data::rng::rng;
     use neurofail_tensor::init::Init;
@@ -117,5 +187,59 @@ mod tests {
         let g = sup_error_grid(&net, &target, 8);
         let h = sup_error_halton(&net, &target, 64);
         assert!((g - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_metrics_match_scalar_loops() {
+        // A non-trivial net (random output weights kept) against the scalar
+        // forward path the metrics used before the batched rewrite.
+        let net = MlpBuilder::new(2)
+            .dense(6, Activation::Sigmoid { k: 1.3 })
+            .dense(4, Activation::Tanh { k: 0.7 })
+            .init(Init::Xavier)
+            .build(&mut rng(42));
+        let target = ConstantHalf { d: 2 };
+        let pts = neurofail_data::grid::halton_points(2, 97);
+        let mut ws = Workspace::for_net(&net);
+        let mut worst = 0.0f64;
+        let mut acc = 0.0;
+        for x in &pts {
+            let e = net.forward_ws(x, &mut ws) - target.eval(x);
+            worst = worst.max(e.abs());
+            acc += e * e;
+        }
+        let sup = sup_error_halton(&net, &target, 97);
+        let mse = mse_halton(&net, &target, 97);
+        assert!((sup - worst).abs() <= 1e-12, "{sup} vs {worst}");
+        assert!((mse - acc / 97.0).abs() <= 1e-12, "{mse} vs {}", acc / 97.0);
+        // And sup_error_on (iterator form) agrees with the _ws form.
+        let on = sup_error_on(&net, &target, pts.iter());
+        assert_eq!(on, sup);
+    }
+
+    #[test]
+    fn ws_variants_reuse_a_caller_workspace_across_net_shapes() {
+        let target = ConstantHalf { d: 2 };
+        let xs = neurofail_data::grid::halton_matrix(2, 64);
+        let mut ws = BatchWorkspace::default();
+        for width in [3usize, 9, 5] {
+            let net = MlpBuilder::new(2)
+                .dense(width, Activation::Sigmoid { k: 1.0 })
+                .init(Init::Xavier)
+                .build(&mut rng(43));
+            let shared = sup_error_on_ws(&net, &target, &xs, &mut ws);
+            let fresh = sup_error_on_ws(&net, &target, &xs, &mut BatchWorkspace::for_net(&net, 64));
+            assert_eq!(shared, fresh, "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_point_sets_are_harmless() {
+        let net = half_net(2);
+        let target = ConstantHalf { d: 2 };
+        let xs = Matrix::zeros(0, 2);
+        let mut ws = BatchWorkspace::default();
+        assert_eq!(sup_error_on_ws(&net, &target, &xs, &mut ws), 0.0);
+        assert_eq!(mse_on_ws(&net, &target, &xs, &mut ws), 0.0);
     }
 }

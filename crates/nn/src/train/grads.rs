@@ -1,8 +1,10 @@
-//! Gradient accumulators shaped like a network.
+//! Gradient accumulators shaped like a network, and the two backpropagation
+//! engines that fill them: the per-sample [`accumulate_example`] and the
+//! minibatch-GEMM [`Mlp::backward_batch`].
 
-use neurofail_tensor::Matrix;
+use neurofail_tensor::{ops, Matrix};
 
-use crate::network::{Layer, Mlp, Workspace};
+use crate::network::{BatchWorkspace, Layer, Mlp, Workspace};
 
 /// Per-layer gradient buffers (weights + bias), matching a [`Layer`]'s
 /// parameter shapes (kernel-shaped for convolutional layers).
@@ -100,6 +102,203 @@ impl BackpropWs {
                 .map(|l| vec![0.0; l.out_dim()])
                 .collect(),
         }
+    }
+}
+
+/// Scratch buffers for **batched** backpropagation (the minibatch-GEMM
+/// training engine).
+///
+/// Holds the forward taps of the whole minibatch (a [`BatchWorkspace`], so
+/// `fwd.sums[l]` / `fwd.outs[l]` are `B × N_l`), one `B × N_l` delta matrix
+/// per layer (holding `∂L/∂outs` on entry to a layer's backward step and
+/// `∂L/∂sums` after the elementwise derivative stage), and small per-call
+/// scratch. Like [`BatchWorkspace`], buffers are shape-only state and are
+/// re-shaped on demand, so one workspace serves every batch size an epoch
+/// produces (including the final short batch) without steady-state
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BatchBackpropWs {
+    /// Forward taps for the minibatch.
+    pub fwd: BatchWorkspace,
+    /// `∂L/∂(layer sums)` per layer (`B × N_l`), written right-to-left.
+    pub delta: Vec<Matrix>,
+    /// Per-example `dL/dF = 2·(pred − target)`.
+    dloss: Vec<f64>,
+    /// ϕ′ scratch for the widest layer (`B × max N_l`).
+    dphi: Vec<f64>,
+}
+
+impl BatchBackpropWs {
+    /// Allocate buffers for `batch` examples through `net`.
+    pub fn for_net(net: &Mlp, batch: usize) -> Self {
+        let mut ws = BatchBackpropWs {
+            fwd: BatchWorkspace::for_net(net, batch),
+            ..BatchBackpropWs::default()
+        };
+        ws.reshape(net, batch);
+        ws
+    }
+
+    /// Resize the backward buffers for `batch` examples through `net`
+    /// (the forward half reshapes itself inside `forward_batch`).
+    fn reshape(&mut self, net: &Mlp, batch: usize) {
+        self.delta = net
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.out_dim()))
+            .collect();
+        let widest = net.layers().iter().map(|l| l.out_dim()).max().unwrap_or(0);
+        self.dphi = vec![0.0; batch * widest];
+    }
+
+    /// Whether the backward buffers match `(net, batch)`.
+    fn fits(&self, net: &Mlp, batch: usize) -> bool {
+        self.delta.len() == net.layers().len()
+            && self
+                .delta
+                .iter()
+                .zip(net.layers())
+                .all(|(m, l)| m.rows() == batch && m.cols() == l.out_dim())
+    }
+}
+
+impl Mlp {
+    /// Batched backpropagation: accumulate the squared-error gradient of a
+    /// whole minibatch (`xs` is `B × d`, row `b` paired with `targets[b]`)
+    /// into `grads`, returning the batch's summed squared error.
+    ///
+    /// The pipeline is one GEMM-shaped step per layer instead of one scalar
+    /// pass per example:
+    ///
+    /// 1. forward taps for all `B` examples via [`Mlp::forward_batch`]
+    ///    (one `X·Wᵀ` GEMM + one vectorised activation sweep per layer);
+    /// 2. output-node gradients as one `lastᵀ·dloss` sweep
+    ///    ([`Matrix::gemv_t_acc_into`]);
+    /// 3. per layer, right to left: the elementwise `∂out → ∂sum`
+    ///    derivative stage over the whole `B × N_l` buffer
+    ///    ([`crate::activation::Activation::derivative_slice`] — no
+    ///    transcendentals, reusing the stored forward outputs), the weight
+    ///    gradient as a single `deltaᵀ·X` GEMM
+    ///    ([`Matrix::matmul_tn_acc_into`]), and the upstream delta as a
+    ///    single `delta·W` GEMM. Convolutional layers run their
+    ///    receptive-field kernels per row (as in the batched forward) and
+    ///    share the batched derivative stage.
+    ///
+    /// Numerical contract: every gradient element accumulates its `B`
+    /// per-example terms in strictly increasing example order, fixed per
+    /// element — so for a given `(net, xs, targets)` the result is bitwise
+    /// reproducible, independent of tile layouts and of any `Parallelism`
+    /// policy active elsewhere in the process. Gradients agree with a
+    /// [`accumulate_example`] loop over the same rows to ≤ 1e-10 per
+    /// element at workspace scales (the two engines order the same sums
+    /// differently and the batched derivative reuses polynomial-kernel
+    /// outputs; asserted by `tests/train_equivalence.rs`).
+    ///
+    /// # Panics
+    /// If `xs.rows() != targets.len()` or `xs.cols() != input_dim()`.
+    pub fn backward_batch(
+        &self,
+        xs: &Matrix,
+        targets: &[f64],
+        bws: &mut BatchBackpropWs,
+        grads: &mut Grads,
+    ) -> f64 {
+        assert_eq!(
+            xs.rows(),
+            targets.len(),
+            "backward_batch: {} inputs vs {} targets",
+            xs.rows(),
+            targets.len()
+        );
+        let batch = xs.rows();
+        let preds = self.forward_batch(xs, &mut bws.fwd);
+        if batch == 0 {
+            return 0.0;
+        }
+        if !bws.fits(self, batch) {
+            bws.reshape(self, batch);
+        }
+        let nl = self.layers().len();
+
+        let mut loss = 0.0;
+        bws.dloss.clear();
+        for (&p, &t) in preds.iter().zip(targets) {
+            let e = p - t;
+            loss += e * e;
+            bws.dloss.push(2.0 * e);
+        }
+
+        // Output client node: F = Σ w_i y_i + b, for all B examples at once.
+        let last_out = &bws.fwd.outs[nl - 1];
+        last_out.gemv_t_acc_into(&bws.dloss, &mut grads.output);
+        for &d in &bws.dloss {
+            grads.output_bias += d;
+        }
+        // Seed ∂L/∂outs of the last layer: dout[b][j] = dloss[b] · w_out[j].
+        let n_last = self.output_weights().len();
+        for (row, &dl) in bws.delta[nl - 1]
+            .data_mut()
+            .chunks_exact_mut(n_last)
+            .zip(&bws.dloss)
+        {
+            for (r, &w) in row.iter_mut().zip(self.output_weights()) {
+                *r = dl * w;
+            }
+        }
+
+        // Hidden layers, right to left.
+        for l in (0..nl).rev() {
+            // ∂out → ∂sum in place over the whole B × N_l buffer.
+            {
+                let sums = bws.fwd.sums[l].data();
+                let outs = bws.fwd.outs[l].data();
+                let dphi = &mut bws.dphi[..sums.len()];
+                self.layers()[l]
+                    .activation()
+                    .derivative_slice(sums, outs, dphi);
+                // Flushed like the derivative itself: a delta below the
+                // saturation threshold carries no learning signal but would
+                // seed subnormal products in the GEMMs below.
+                for (d, &p) in bws.delta[l].data_mut().iter_mut().zip(dphi.iter()) {
+                    *d = ops::flush_tiny(*d * p);
+                }
+            }
+            let input: &Matrix = if l == 0 { xs } else { &bws.fwd.outs[l - 1] };
+            let (dprev, dcur) = bws.delta.split_at_mut(l);
+            let dsum = &dcur[0];
+            let lg = &mut grads.layers[l];
+            match &self.layers()[l] {
+                Layer::Dense(d) => {
+                    dsum.matmul_tn_acc_into(input, &mut lg.w);
+                    if !lg.b.is_empty() {
+                        for row in dsum.rows_iter() {
+                            ops::axpy(1.0, row, &mut lg.b);
+                        }
+                    }
+                    if l > 0 {
+                        dsum.matmul_into(d.weights(), &mut dprev[l - 1]);
+                    }
+                }
+                Layer::Conv1d(c) => {
+                    let empty: &mut [f64] = &mut [];
+                    for b in 0..batch {
+                        let dinput: &mut [f64] = if l == 0 {
+                            &mut *empty
+                        } else {
+                            dprev[l - 1].row_mut(b)
+                        };
+                        c.backward_from_dsum(
+                            input.row(b),
+                            dsum.row(b),
+                            &mut lg.w,
+                            &mut lg.b,
+                            dinput,
+                        );
+                    }
+                }
+            }
+        }
+        loss
     }
 }
 
@@ -241,6 +440,83 @@ mod tests {
                     (got - fd).abs() < 1e-4,
                     "layer {l} w[{r}][{c}]: {got} vs {fd}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_batch_matches_per_sample_on_mixed_net() {
+        let net = mixed_net();
+        let batch = 5;
+        let xs = Matrix::from_fn(batch, 6, |r, c| ((r * 6 + c) as f64 * 0.13).sin().abs());
+        let ys: Vec<f64> = (0..batch).map(|b| 0.2 + 0.1 * b as f64).collect();
+
+        let mut ws = Workspace::for_net(&net);
+        let mut sbws = BackpropWs::for_net(&net);
+        let mut sgrads = Grads::zeros_like(&net);
+        let mut sloss = 0.0;
+        for (b, &y) in ys.iter().enumerate() {
+            sloss += accumulate_example(&net, xs.row(b), y, &mut ws, &mut sbws, &mut sgrads);
+        }
+
+        let mut bbws = BatchBackpropWs::for_net(&net, batch);
+        let mut bgrads = Grads::zeros_like(&net);
+        let bloss = net.backward_batch(&xs, &ys, &mut bbws, &mut bgrads);
+
+        assert!((sloss - bloss).abs() <= 1e-10, "{sloss} vs {bloss}");
+        for (sl, bl) in sgrads.layers.iter().zip(&bgrads.layers) {
+            for (s, b) in sl.w.data().iter().zip(bl.w.data()) {
+                assert!((s - b).abs() <= 1e-10, "w: {s} vs {b}");
+            }
+            for (s, b) in sl.b.iter().zip(&bl.b) {
+                assert!((s - b).abs() <= 1e-10, "b: {s} vs {b}");
+            }
+        }
+        for (s, b) in sgrads.output.iter().zip(&bgrads.output) {
+            assert!((s - b).abs() <= 1e-10, "out: {s} vs {b}");
+        }
+        assert!((sgrads.output_bias - bgrads.output_bias).abs() <= 1e-10);
+    }
+
+    #[test]
+    fn backward_batch_handles_empty_and_singleton() {
+        let net = mixed_net();
+        let mut bws = BatchBackpropWs::default();
+        let mut grads = Grads::zeros_like(&net);
+        let loss = net.backward_batch(&Matrix::zeros(0, 6), &[], &mut bws, &mut grads);
+        assert_eq!(loss, 0.0);
+        assert!(grads.output.iter().all(|&g| g == 0.0));
+        let xs = Matrix::from_vec(1, 6, vec![0.3; 6]);
+        let loss = net.backward_batch(&xs, &[0.1], &mut bws, &mut grads);
+        assert!(loss > 0.0);
+        assert!(grads.output.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn backward_batch_is_bitwise_reproducible_and_workspace_reuse_safe() {
+        let net = mixed_net();
+        let xs = Matrix::from_fn(4, 6, |r, c| ((r + c) as f64 * 0.21).cos().abs());
+        let ys = [0.1, 0.4, 0.2, 0.8];
+        let run = |bws: &mut BatchBackpropWs| {
+            let mut grads = Grads::zeros_like(&net);
+            let loss = net.backward_batch(&xs, &ys, bws, &mut grads);
+            (loss, grads)
+        };
+        let mut fresh = BatchBackpropWs::for_net(&net, 4);
+        let (l0, g0) = run(&mut fresh);
+        // Reused workspace, and one previously shaped for another batch size.
+        let (l1, g1) = run(&mut fresh);
+        let mut other = BatchBackpropWs::for_net(&net, 9);
+        let (l2, g2) = run(&mut other);
+        for (l, g) in [(l1, g1), (l2, g2)] {
+            assert_eq!(l0.to_bits(), l.to_bits());
+            for (a, b) in g0.output.iter().zip(&g.output) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (la, lb) in g0.layers.iter().zip(&g.layers) {
+                for (a, b) in la.w.data().iter().zip(lb.w.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
             }
         }
     }

@@ -17,7 +17,7 @@ pub mod loss;
 pub mod penalty;
 pub mod sgd;
 
-pub use grads::Grads;
+pub use grads::{BatchBackpropWs, Grads};
 pub use loss::Loss;
 pub use penalty::FepPenalty;
-pub use sgd::{train, TrainConfig, TrainReport};
+pub use sgd::{train, TrainConfig, TrainEngine, TrainReport};

@@ -1,11 +1,30 @@
 //! Mini-batch SGD with momentum, weight decay and the Fep penalty.
 
 use neurofail_data::{rng::DetRng, Dataset};
+use neurofail_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::network::{Layer, Mlp, Workspace};
-use crate::train::grads::{accumulate_example, BackpropWs, Grads};
+use crate::train::grads::{accumulate_example, BackpropWs, BatchBackpropWs, Grads};
 use crate::train::penalty::FepPenalty;
+
+/// Which backpropagation engine [`train`] drives.
+///
+/// Both engines consume identical batch schedules (same RNG stream) and
+/// produce gradients that agree to ≤ 1e-10 per step; they differ only in
+/// arithmetic staging. The per-sample engine is retained as the reference
+/// for equivalence testing and for debugging single examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrainEngine {
+    /// Minibatch-GEMM backpropagation ([`Mlp::backward_batch`]): one GEMM +
+    /// one vectorised elementwise sweep per layer per batch, in both
+    /// directions. The default.
+    #[default]
+    Batched,
+    /// The original scalar path: one [`accumulate_example`] call per
+    /// example.
+    PerSample,
+}
 
 /// SGD hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,6 +43,8 @@ pub struct TrainConfig {
     pub weight_decay: f64,
     /// Optional Fep-aware penalty (Section VI future work, experiment E15).
     pub fep_penalty: Option<FepPenalty>,
+    /// Which backpropagation engine to use (batched GEMM by default).
+    pub engine: TrainEngine,
 }
 
 impl Default for TrainConfig {
@@ -35,6 +56,7 @@ impl Default for TrainConfig {
             momentum: 0.9,
             weight_decay: 0.0,
             fep_penalty: None,
+            engine: TrainEngine::Batched,
         }
     }
 }
@@ -61,7 +83,12 @@ impl TrainReport {
 
 /// Train `net` in place on `data`; returns the per-epoch trace.
 ///
-/// Deterministic for a given `(net, data, cfg, rng)`.
+/// Deterministic for a given `(net, data, cfg, rng)`: the batched engine's
+/// gradients are bitwise reproducible (fixed per-element summation order;
+/// see [`Mlp::backward_batch`]), so repeated runs — under any ambient
+/// `Parallelism` policy — produce bit-identical networks and traces. The
+/// two engines see the same RNG stream (batch schedules match), and their
+/// loss trajectories agree within floating-point re-association noise.
 ///
 /// # Panics
 /// If `data` is empty or its dimension does not match the network.
@@ -74,6 +101,60 @@ pub fn train(net: &mut Mlp, data: &Dataset, cfg: &TrainConfig, rng: &mut DetRng)
         data.dim(),
         net.input_dim()
     );
+    match cfg.engine {
+        TrainEngine::Batched => train_batched(net, data, cfg, rng),
+        TrainEngine::PerSample => train_per_sample(net, data, cfg, rng),
+    }
+}
+
+/// The minibatch-GEMM engine: gather each batch's rows into a reused
+/// `B × d` matrix, run [`Mlp::backward_batch`] once per batch.
+fn train_batched(
+    net: &mut Mlp,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut DetRng,
+) -> TrainReport {
+    let mut bws = BatchBackpropWs::for_net(net, cfg.batch.min(data.len()));
+    let mut grads = Grads::zeros_like(net);
+    let mut velocity = Grads::zeros_like(net);
+    let mut epoch_mse = Vec::with_capacity(cfg.epochs);
+    let d = data.dim();
+    let mut xs = Matrix::zeros(cfg.batch.min(data.len()), d);
+    let mut ys: Vec<f64> = Vec::with_capacity(cfg.batch);
+
+    for _ in 0..cfg.epochs {
+        let mut epoch_loss = 0.0;
+        for batch in data.batches(cfg.batch, rng) {
+            if xs.rows() != batch.len() {
+                // Only the epoch's final short batch reshapes (twice per
+                // epoch in the steady state).
+                xs = Matrix::zeros(batch.len(), d);
+            }
+            ys.clear();
+            for (row, &i) in batch.iter().enumerate() {
+                let (x, y) = data.example(i);
+                xs.row_mut(row).copy_from_slice(x);
+                ys.push(y);
+            }
+            grads.zero();
+            epoch_loss += net.backward_batch(&xs, &ys, &mut bws, &mut grads);
+            grads.scale(1.0 / batch.len() as f64);
+            add_regularizer_grads(net, cfg, &mut grads);
+            apply_update(net, cfg, &grads, &mut velocity);
+        }
+        epoch_mse.push(epoch_loss / data.len() as f64);
+    }
+    TrainReport { epoch_mse }
+}
+
+/// The reference scalar engine: one backpropagation pass per example.
+fn train_per_sample(
+    net: &mut Mlp,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut DetRng,
+) -> TrainReport {
     let mut ws = Workspace::for_net(net);
     let mut bws = BackpropWs::for_net(net);
     let mut grads = Grads::zeros_like(net);

@@ -23,5 +23,8 @@ pub mod sweep;
 
 pub use fixed::FixedPoint;
 pub use memory::{memory_report, MemoryReport};
-pub use network::{forward_quantized, quantization_error, quantize_weights};
+pub use network::{
+    forward_quantized, forward_quantized_batch, quantization_error, quantization_error_batch,
+    quantization_error_batch_from_nominal, quantize_weights,
+};
 pub use sweep::{precision_sweep, SweepRow};

@@ -14,7 +14,8 @@
 
 use neurofail_core::profile::NetworkProfile;
 use neurofail_nn::network::Layer;
-use neurofail_nn::{Mlp, Tap, Workspace};
+use neurofail_nn::{BatchTap, BatchWorkspace, Mlp, Tap, Workspace};
+use neurofail_tensor::Matrix;
 
 use crate::fixed::FixedPoint;
 
@@ -31,10 +32,32 @@ impl Tap for ActivationQuantTap {
     }
 }
 
+impl BatchTap for ActivationQuantTap {
+    fn post_activation(&mut self, _layer: usize, outputs: &mut Matrix) {
+        self.format.quantize_slice(outputs.data_mut());
+    }
+}
+
 /// Forward pass with all activations stored in `format`.
 pub fn forward_quantized(net: &Mlp, x: &[f64], format: FixedPoint, ws: &mut Workspace) -> f64 {
     let mut tap = ActivationQuantTap { format };
     net.forward_tapped(x, ws, &mut tap)
+}
+
+/// Batched forward pass with all activations stored in `format`: one
+/// [`Mlp::forward_batch_tapped`] call for the whole input set, quantising
+/// each layer's `B × N_l` output buffer in one sweep. Rounding is
+/// elementwise, so the batched tap perturbs each row exactly as the scalar
+/// [`ActivationQuantTap`] does; results agree with [`forward_quantized`]
+/// per row within the engine's 1e-12 batch/scalar budget.
+pub fn forward_quantized_batch(
+    net: &Mlp,
+    xs: &Matrix,
+    format: FixedPoint,
+    ws: &mut BatchWorkspace,
+) -> Vec<f64> {
+    let mut tap = ActivationQuantTap { format };
+    net.forward_batch_tapped(xs, ws, &mut tap)
 }
 
 /// `|F_neu(x) − F_quant(x)|` for activation quantisation.
@@ -42,6 +65,44 @@ pub fn quantization_error(net: &Mlp, x: &[f64], format: FixedPoint, ws: &mut Wor
     let nominal = net.forward_ws(x, ws);
     let quantized = forward_quantized(net, x, format, ws);
     (nominal - quantized).abs()
+}
+
+/// Per-input `|F_neu − F_quant|` over a whole input batch: one nominal and
+/// one quantised [`Mlp::forward_batch`] instead of `2·B` scalar passes.
+pub fn quantization_error_batch(
+    net: &Mlp,
+    xs: &Matrix,
+    format: FixedPoint,
+    ws: &mut BatchWorkspace,
+) -> Vec<f64> {
+    let nominal = net.forward_batch(xs, ws);
+    quantization_error_batch_from_nominal(net, xs, &nominal, format, ws)
+}
+
+/// [`quantization_error_batch`] against precomputed nominal outputs — for
+/// sweeps that probe many formats over one input set, where the nominal
+/// pass is paid once ([`crate::sweep::precision_sweep`]).
+///
+/// # Panics
+/// If `nominal.len() != xs.rows()`.
+pub fn quantization_error_batch_from_nominal(
+    net: &Mlp,
+    xs: &Matrix,
+    nominal: &[f64],
+    format: FixedPoint,
+    ws: &mut BatchWorkspace,
+) -> Vec<f64> {
+    assert_eq!(
+        nominal.len(),
+        xs.rows(),
+        "quantization_error_batch: nominal length mismatch"
+    );
+    let quantized = forward_quantized_batch(net, xs, format, ws);
+    nominal
+        .iter()
+        .zip(quantized)
+        .map(|(n, q)| (n - q).abs())
+        .collect()
 }
 
 /// The per-layer `λ_l` for activation quantisation: `step/2` everywhere
@@ -137,6 +198,27 @@ mod tests {
                 "{bits} bits: measured {worst} exceeds bound {bound}"
             );
             assert!(worst > 0.0 || bits >= 12, "{bits} bits should perturb");
+        }
+    }
+
+    #[test]
+    fn quantization_error_batch_matches_scalar_per_row() {
+        let net = net();
+        let batch = 17;
+        let xs = Matrix::from_fn(batch, 3, |r, c| ((r * 3 + c) as f64 * 0.11).sin().abs());
+        let mut bws = BatchWorkspace::for_net(&net, batch);
+        let mut ws = Workspace::for_net(&net);
+        for bits in [2, 5, 9] {
+            let format = FixedPoint::unit(bits);
+            let batched = quantization_error_batch(&net, &xs, format, &mut bws);
+            assert_eq!(batched.len(), batch);
+            for (b, &got) in batched.iter().enumerate() {
+                let scalar = quantization_error(&net, xs.row(b), format, &mut ws);
+                assert!(
+                    (got - scalar).abs() <= 1e-12,
+                    "{bits} bits row {b}: {got} vs {scalar}"
+                );
+            }
         }
     }
 

@@ -9,12 +9,13 @@
 
 use neurofail_core::precision::{precision_bound, ErrorLocus};
 use neurofail_core::profile::NetworkProfile;
-use neurofail_nn::{Mlp, Workspace};
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::fixed::FixedPoint;
 use crate::memory::memory_report;
-use crate::network::{activation_lambdas, quantization_error};
+use crate::network::{activation_lambdas, quantization_error_batch_from_nominal};
 
 /// One row of the precision sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +34,13 @@ pub struct SweepRow {
 
 /// Run the sweep over the given fractional bit widths.
 ///
+/// The whole input set is evaluated through the batched engine: the nominal
+/// outputs are computed **once** ([`Mlp::forward_batch`]), then each format
+/// costs a single quantised batch pass
+/// ([`quantization_error_batch_from_nominal`]) — one GEMM + one activation
+/// sweep per layer per format, instead of `2·|inputs|` scalar forward
+/// passes per format.
+///
 /// # Panics
 /// If `inputs` is empty or dimensions mismatch.
 pub fn precision_sweep(
@@ -42,15 +50,19 @@ pub fn precision_sweep(
     frac_bits: &[u32],
 ) -> Vec<SweepRow> {
     assert!(!inputs.is_empty(), "precision_sweep: need inputs");
-    let mut ws = Workspace::for_net(net);
+    let d = inputs[0].len();
+    let mut xs = Matrix::zeros(inputs.len(), d);
+    for (row, x) in inputs.iter().enumerate() {
+        xs.row_mut(row).copy_from_slice(x);
+    }
+    let mut ws = BatchWorkspace::for_net(net, inputs.len());
+    let nominal = net.forward_batch(&xs, &mut ws);
     frac_bits
         .iter()
         .map(|&fb| {
             let format = FixedPoint::unit(fb);
-            let mut measured = 0.0f64;
-            for x in inputs {
-                measured = measured.max(quantization_error(net, x, format, &mut ws));
-            }
+            let errors = quantization_error_batch_from_nominal(net, &xs, &nominal, format, &mut ws);
+            let measured = errors.into_iter().fold(0.0f64, f64::max);
             let bound = precision_bound(
                 profile,
                 &activation_lambdas(net.depth(), format),

@@ -159,6 +159,23 @@ impl Matrix {
         y
     }
 
+    /// `y += selfᵀ · x` — the accumulating form of [`Matrix::gemv_t_into`],
+    /// used by the batched trainer to fold a whole minibatch's output-weight
+    /// gradient (`lastᵀ · dloss`) into an existing gradient buffer. Rows of
+    /// `self` are consumed in increasing order, so every element of `y`
+    /// accumulates its `rows` terms in a fixed sequence — deterministic for
+    /// a given `(self, x)` regardless of how the batch was assembled.
+    ///
+    /// # Panics
+    /// If `x.len() != rows` or `y.len() != cols`.
+    pub fn gemv_t_acc_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "gemv_t_acc: x length mismatch");
+        assert_eq!(y.len(), self.cols, "gemv_t_acc: y length mismatch");
+        for (xi, row) in x.iter().zip(self.rows_iter()) {
+            ops::axpy(*xi, row, y);
+        }
+    }
+
     /// Rank-one update `self += alpha · a · bᵀ` (outer product accumulate,
     /// the weight-gradient update of backpropagation).
     ///
@@ -269,6 +286,82 @@ impl Matrix {
                 *o = ops::dot_fma(a_row, w_row);
             }
         }
+    }
+
+    /// Transposed-accumulate GEMM: `out += selfᵀ · rhs`, with `self` `B × M`
+    /// (a per-batch-row left factor, e.g. the post-derivative deltas of one
+    /// layer), `rhs` `B × N` (the layer's input batch) and `out` `M × N` —
+    /// the weight-gradient kernel of the batched training engine
+    /// (`∂L/∂W = deltaᵀ · X`), consuming both operands in their natural
+    /// batch-major layout with no transpose staging.
+    ///
+    /// The kernel tiles four output rows per pass so each streamed `rhs` row
+    /// chunk is reused from registers across the tile, with one FMA per
+    /// term. Batch rows are consumed in strictly increasing order in every
+    /// path (tile and remainder alike), so each output element accumulates
+    /// `out[j][i] ← fma(self[b][j], rhs[b][i], out[j][i])` for `b = 0..B` —
+    /// a pure function of `(self column j, rhs column i, initial out[j][i])`,
+    /// bitwise, independent of the tile layout and of `M`/`N`. Batched
+    /// training's run-to-run and cross-`Parallelism` determinism rests on
+    /// this (asserted by tests).
+    ///
+    /// # Panics
+    /// If `self.rows != rhs.rows`, or `out` is not `self.cols × rhs.cols`.
+    pub fn matmul_tn_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn: batch dimension mismatch");
+        assert_eq!(out.rows, self.cols, "matmul_tn: out rows mismatch");
+        assert_eq!(out.cols, rhs.cols, "matmul_tn: out cols mismatch");
+        let m = self.cols;
+        let n = rhs.cols;
+        if m == 0 || n == 0 || self.rows == 0 {
+            return;
+        }
+        const JT: usize = 4;
+        let mut j = 0;
+        while j + JT <= m {
+            let block = &mut out.data[j * n..(j + JT) * n];
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            for (a_row, x_row) in self.data.chunks_exact(m).zip(rhs.data.chunks_exact(n)) {
+                let (a0, a1, a2, a3) = (a_row[j], a_row[j + 1], a_row[j + 2], a_row[j + 3]);
+                for ((((p0, p1), p2), p3), &x) in o0
+                    .iter_mut()
+                    .zip(o1.iter_mut())
+                    .zip(o2.iter_mut())
+                    .zip(o3.iter_mut())
+                    .zip(x_row)
+                {
+                    *p0 = a0.mul_add(x, *p0);
+                    *p1 = a1.mul_add(x, *p1);
+                    *p2 = a2.mul_add(x, *p2);
+                    *p3 = a3.mul_add(x, *p3);
+                }
+            }
+            j += JT;
+        }
+        // Remaining output rows: the same per-element math, one row at a time.
+        for j in j..m {
+            let o_row = &mut out.data[j * n..(j + 1) * n];
+            for (a_row, x_row) in self.data.chunks_exact(m).zip(rhs.data.chunks_exact(n)) {
+                let a = a_row[j];
+                for (p, &x) in o_row.iter_mut().zip(x_row) {
+                    *p = a.mul_add(x, *p);
+                }
+            }
+        }
+    }
+
+    /// Transposed GEMM `out = selfᵀ · rhs` (overwrite form of
+    /// [`Matrix::matmul_tn_acc_into`]).
+    ///
+    /// # Panics
+    /// If `self.rows != rhs.rows`, or `out` is not `self.cols × rhs.cols`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(out.rows, self.cols, "matmul_tn: out rows mismatch");
+        assert_eq!(out.cols, rhs.cols, "matmul_tn: out cols mismatch");
+        out.data.fill(0.0);
+        self.matmul_tn_acc_into(rhs, out);
     }
 
     /// Matrix product `self · rhs` into a caller-provided buffer.
@@ -504,6 +597,91 @@ mod tests {
                     "rows = {rows}, r = {r}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_product() {
+        for (b, m, n) in [(1usize, 1usize, 1usize), (5, 13, 9), (8, 16, 4), (3, 7, 11)] {
+            let a = Matrix::from_fn(b, m, |r, c| ((r * m + c) as f64 * 0.29).sin());
+            let x = Matrix::from_fn(b, n, |r, c| ((r * n + c) as f64 * 0.19).cos());
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_tn_into(&x, &mut out);
+            let reference = a.transpose().matmul(&x);
+            for r in 0..m {
+                for c in 0..n {
+                    assert!(
+                        (out.get(r, c) - reference.get(r, c)).abs() < 1e-12,
+                        "({b},{m},{n}) at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_acc_accumulates_on_top() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let x = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let mut out = Matrix::from_vec(2, 2, vec![100.0, 0.0, 0.0, -100.0]);
+        a.matmul_tn_acc_into(&x, &mut out);
+        // aᵀ·x = [[1,3],[2,4]]·[[5,6],[7,8]] = [[26,30],[38,44]].
+        assert_eq!(out.data(), &[126.0, 30.0, 38.0, -56.0]);
+    }
+
+    #[test]
+    fn matmul_tn_elements_are_independent_of_tile_position() {
+        // The determinism contract: out[j][i] is the same bitwise whether
+        // row j sits in a 4-row tile or in the remainder loop. Compare each
+        // column pair against a hand-rolled b-sequential FMA reduction.
+        for (b, m, n) in [(6usize, 10usize, 5usize), (4, 7, 3), (9, 4, 8), (3, 5, 1)] {
+            let a = Matrix::from_fn(b, m, |r, c| ((r * m + c) as f64 * 0.43).sin());
+            let x = Matrix::from_fn(b, n, |r, c| ((r * n + c) as f64 * 0.27).cos());
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_tn_acc_into(&x, &mut out);
+            for j in 0..m {
+                for i in 0..n {
+                    let mut want = 0.0f64;
+                    for bb in 0..b {
+                        want = a.get(bb, j).mul_add(x.get(bb, i), want);
+                    }
+                    assert_eq!(out.get(j, i), want, "({b},{m},{n}) at ({j},{i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_handles_degenerate_shapes() {
+        // Zero batch rows: out untouched by acc, zeroed by the overwrite form.
+        let mut out = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        Matrix::zeros(0, 2).matmul_tn_acc_into(&Matrix::zeros(0, 3), &mut out);
+        assert_eq!(out.data(), &[1.0; 6]);
+        Matrix::zeros(0, 2).matmul_tn_into(&Matrix::zeros(0, 3), &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+        // Zero-width operands.
+        let mut empty = Matrix::zeros(0, 4);
+        Matrix::from_vec(2, 0, vec![]).matmul_tn_into(&Matrix::zeros(2, 4), &mut empty);
+        let mut none = Matrix::zeros(4, 0);
+        Matrix::zeros(2, 4).matmul_tn_into(&Matrix::from_vec(2, 0, vec![]), &mut none);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch dimension mismatch")]
+    fn matmul_tn_batch_mismatch_panics() {
+        let mut out = Matrix::zeros(3, 3);
+        small().matmul_tn_acc_into(&Matrix::zeros(3, 3), &mut out);
+    }
+
+    #[test]
+    fn gemv_t_acc_adds_to_existing() {
+        let m = small();
+        let x = [2.0, -1.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        m.gemv_t_acc_into(&x, &mut y);
+        let plain = m.gemv_t(&x);
+        for (got, want) in y.iter().zip(&plain) {
+            assert_eq!(*got, want + 1.0);
         }
     }
 
