@@ -1,4 +1,4 @@
-//! E9 — Theorem 5: the memory/accuracy trade-off (Proteus [31]).
+//! E9 — Theorem 5: the memory/accuracy trade-off (Proteus, the paper's ref. 31).
 //!
 //! Activation-precision sweep on a trained network: per bit width, the
 //! measured worst degradation, the Theorem 5 bound (λ = step/2,

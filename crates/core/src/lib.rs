@@ -7,7 +7,7 @@
 //! | Paper artefact | Module |
 //! |---|---|
 //! | Theorem 1 (single-layer crash bound) | [`crash`] |
-//! | Theorem 2 (Forward Error Propagation, `Fep`) | [`fep`] |
+//! | Theorem 2 (Forward Error Propagation, `Fep`) | [`mod@fep`] |
 //! | Theorem 3 (Byzantine neuron tolerance) | [`byzantine`] |
 //! | Lemma 1 (unbounded transmission ⇒ zero tolerance) | [`byzantine`] |
 //! | Lemma 2 + Theorem 4 (synapse failures; two bound forms) | [`synapse`] |
@@ -18,7 +18,7 @@
 //! | Section II-C (over-provisioning, Barron sizing) | [`overprovision`] |
 //!
 //! plus [`tolerance`] (inverse search: how many faults fit in `ε − ε'`) and
-//! [`certify`] (one-call robustness certificates).
+//! [`mod@certify`] (one-call robustness certificates).
 //!
 //! Everything here is a pure function of the network **topology** — the
 //! tuple `(L, N_l, w_m^(l), K, C)` captured by [`profile::NetworkProfile`] —

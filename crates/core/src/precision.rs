@@ -1,7 +1,7 @@
 //! Theorem 5: accuracy degradation under reduced per-neuron precision.
 //!
 //! Section V-A explains the memory/accuracy trade-off observed by Proteus
-//! [31]: implementing each neuron of layer `l` with an error at most `λ_l`
+//! ref. 31: implementing each neuron of layer `l` with an error at most `λ_l`
 //! (e.g. from quantised arithmetic) degrades the output by at most
 //!
 //! ```text

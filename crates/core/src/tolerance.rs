@@ -20,7 +20,7 @@
 //! ([`crate::fep::increment_feps`] / [`crate::fep::fep_for_into`]): each
 //! step evaluates its whole candidate frontier through one reused scratch
 //! buffer instead of allocating per candidate. Values are bitwise identical
-//! to per-candidate [`fep_for`] calls, so search results are unchanged —
+//! to per-candidate [`crate::fep::fep_for`] calls, so search results are unchanged —
 //! only the evaluation rate differs (see the `tolerance_search` bench).
 
 use serde::{Deserialize, Serialize};

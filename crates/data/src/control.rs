@@ -1,7 +1,7 @@
 //! Synthetic flight-control surface — the critical-application stand-in.
 //!
 //! The paper's first motivating application is adaptive neural flight
-//! control [8], where "stopping a neural network and recovering its failures
+//! control (paper ref. 8), where "stopping a neural network and recovering its failures
 //! through a new learning phase is not an option". Real control laws and
 //! telemetry are proprietary; this module provides a smooth pitch-axis
 //! command surface with the qualitative structure of a longitudinal
@@ -72,7 +72,7 @@ impl TargetFn for PitchController {
 }
 
 /// Synthetic radar return classifier surface — the second critical
-/// application stand-in ([9]: neural network radar processors).
+/// application stand-in (paper ref. 9: neural network radar processors).
 ///
 /// Inputs: `x[0]` = normalised echo amplitude, `x[1]` = Doppler shift,
 /// `x[2]` = pulse width, `x[3]` = sweep angle. Output: probability that the

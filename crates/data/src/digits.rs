@@ -1,7 +1,7 @@
 //! Synthetic 7×5 digit glyphs — the image-recognition stand-in.
 //!
 //! The paper motivates robustness with image-recognition deployments
-//! ([5], [18]); real image sets are not available offline, so this module
+//! (paper refs. 5, 18); real image sets are not available offline, so this module
 //! provides classic seven-by-five dot-matrix digits with Bernoulli pixel
 //! noise. Inputs live in `[0,1]^35`, matching the paper's cube, and two
 //! labelling modes are offered:

@@ -94,7 +94,7 @@ const MAX_EVAL_BATCH: usize = 1024;
 /// `counts`, each compiled once and evaluated over its whole
 /// `cfg.inputs_per_trial` input set in batched calls
 /// ([`CompiledPlan::output_error_batch`]; one call when the input set fits
-/// [`MAX_EVAL_BATCH`]) — the compile-once / run-many shape the batched
+/// `MAX_EVAL_BATCH`) — the compile-once / run-many shape the batched
 /// engine exists for.
 ///
 /// `counts` has `L` entries for [`TrialKind::Neurons`] and `L + 1` for

@@ -194,7 +194,35 @@ impl CompiledPlan {
 
     /// Batched `|F_neu(x_b) − F_fail(x_b)|`: one nominal batched pass plus
     /// one faulty batched pass over the plan's whole input set — the
-    /// campaign/exhaustive/search hot loop.
+    /// campaign/exhaustive/search hot loop, and (as singleton rows) the
+    /// reference the serving engine's bitwise contract is stated against.
+    ///
+    /// # Example
+    /// ```
+    /// use neurofail_data::rng::rng;
+    /// use neurofail_inject::{CompiledPlan, InjectionPlan};
+    /// use neurofail_nn::{activation::Activation, BatchWorkspace, MlpBuilder};
+    /// use neurofail_tensor::{init::Init, Matrix};
+    ///
+    /// let net = MlpBuilder::new(2)
+    ///     .dense(5, Activation::Sigmoid { k: 1.0 })
+    ///     .init(Init::Xavier)
+    ///     .build(&mut rng(3));
+    ///
+    /// // Compile once (crash neuron 2 of layer 1), evaluate over a batch.
+    /// let plan = CompiledPlan::compile(&InjectionPlan::crash([(0, 2)]), &net, 1.0)?;
+    /// let xs = Matrix::from_fn(8, 2, |r, c| r as f64 * 0.1 + c as f64 * 0.05);
+    /// let mut ws = BatchWorkspace::for_net(&net, 8);
+    /// let errors = plan.output_error_batch(&net, &xs, &mut ws);
+    /// assert_eq!(errors.len(), 8);
+    /// assert!(errors.iter().all(|&e| e >= 0.0));
+    ///
+    /// // Per-row batch independence: any row replays exactly as a
+    /// // singleton batch.
+    /// let one = Matrix::from_vec(1, 2, xs.row(3).to_vec());
+    /// assert_eq!(plan.output_error_batch(&net, &one, &mut ws)[0], errors[3]);
+    /// # Ok::<(), neurofail_inject::PlanError>(())
+    /// ```
     pub fn output_error_batch(&self, net: &Mlp, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
         let mut errors = net.forward_batch(xs, ws);
         let faulty = self.run_batch(net, xs, ws);

@@ -19,6 +19,9 @@
 //! * [`adversary`] / [`input_search`] — the tightness playbook: kill the
 //!   highest same-sign-weight neurons, then search the input cube for the
 //!   disturbance maximiser (Theorem 1's equality cases).
+//! * [`registry`] — long-lived sets of `(network, compiled plan)` pairs
+//!   addressed by dense [`registry::PlanId`]s, the plan-sharding substrate
+//!   of the serving engine (`neurofail-serve`).
 
 #![warn(missing_docs)]
 
@@ -28,9 +31,11 @@ pub mod executor;
 pub mod exhaustive;
 pub mod input_search;
 pub mod plan;
+pub mod registry;
 pub mod sampler;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
 pub use executor::{CompiledPlan, PlanError};
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
+pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;

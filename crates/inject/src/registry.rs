@@ -1,0 +1,228 @@
+//! A registry of compiled plans ready for repeated, shared evaluation.
+//!
+//! Campaigns compile a plan, use it, and drop it. Long-lived consumers —
+//! the serving engine (`neurofail-serve`), plan-sharded multi-process
+//! campaigns — instead hold a *set* of `(network, compiled plan)` pairs and
+//! route queries to them by id. [`PlanRegistry`] is that set: each
+//! [`register`](PlanRegistry::register) validates the plan against its
+//! network once (the usual compile-once contract) and returns a dense
+//! [`PlanId`], so downstream engines can shard work per plan with plain
+//! indexing and no hashing on the hot path.
+//!
+//! Networks are held behind [`Arc`] so one trained network can back many
+//! registered plans (the common case: one net, a family of fault
+//! hypotheses) without cloning its weights per plan.
+
+use std::sync::Arc;
+
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_tensor::Matrix;
+
+use crate::executor::{CompiledPlan, PlanError};
+use crate::plan::InjectionPlan;
+
+/// Dense identifier of a plan within a [`PlanRegistry`] (and the shard
+/// index downstream engines key their per-plan workers by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanId(pub usize);
+
+impl std::fmt::Display for PlanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan#{}", self.0)
+    }
+}
+
+/// One registered `(network, compiled plan)` pair.
+#[derive(Debug, Clone)]
+pub struct RegisteredPlan {
+    net: Arc<Mlp>,
+    compiled: CompiledPlan,
+}
+
+impl RegisteredPlan {
+    /// The network the plan was compiled against.
+    pub fn net(&self) -> &Arc<Mlp> {
+        &self.net
+    }
+
+    /// The compiled plan.
+    pub fn compiled(&self) -> &CompiledPlan {
+        &self.compiled
+    }
+
+    /// Input dimension queries against this plan must have.
+    pub fn input_dim(&self) -> usize {
+        self.net.input_dim()
+    }
+
+    /// Disturbance `|F_neu(x) − F_fail(x)|` of a single input, evaluated
+    /// as a **singleton batch** through
+    /// [`CompiledPlan::output_error_batch`].
+    ///
+    /// This is the reference the serving engine's bitwise contract is
+    /// stated against: by the batched engine's per-row independence, a
+    /// served response coalesced into any batch equals this call exactly.
+    pub fn eval_singleton(&self, x: &[f64], ws: &mut BatchWorkspace) -> f64 {
+        let mut xs = Matrix::zeros(0, 0);
+        self.eval_singleton_with(x, &mut xs, ws)
+    }
+
+    /// [`eval_singleton`](Self::eval_singleton) with a caller-provided
+    /// `1 × d` scratch matrix, allocation-free once the scratch has grown
+    /// — for loops that replay many singletons (e.g. request-log audits).
+    pub fn eval_singleton_with(&self, x: &[f64], xs: &mut Matrix, ws: &mut BatchWorkspace) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "eval_singleton: input dimension mismatch"
+        );
+        xs.resize(1, x.len());
+        xs.row_mut(0).copy_from_slice(x);
+        self.compiled.output_error_batch(&self.net, xs, ws)[0]
+    }
+
+    /// Batched disturbance over `xs` rows (delegates to
+    /// [`CompiledPlan::output_error_batch`]).
+    pub fn eval_batch(&self, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
+        self.compiled.output_error_batch(&self.net, xs, ws)
+    }
+}
+
+/// An append-only collection of compiled plans addressed by [`PlanId`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanRegistry {
+    entries: Vec<RegisteredPlan>,
+}
+
+impl PlanRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile `plan` against `net` under capacity `capacity` and register
+    /// it.
+    ///
+    /// # Errors
+    /// [`PlanError`] if the plan does not validate against the network.
+    pub fn register(
+        &mut self,
+        net: Arc<Mlp>,
+        plan: &InjectionPlan,
+        capacity: f64,
+    ) -> Result<PlanId, PlanError> {
+        let compiled = CompiledPlan::compile(plan, &net, capacity)?;
+        Ok(self.register_compiled(net, compiled))
+    }
+
+    /// Register an already-compiled plan (caller vouches it was compiled
+    /// against `net`).
+    pub fn register_compiled(&mut self, net: Arc<Mlp>, compiled: CompiledPlan) -> PlanId {
+        let id = PlanId(self.entries.len());
+        self.entries.push(RegisteredPlan { net, compiled });
+        id
+    }
+
+    /// Look up a registered plan.
+    pub fn get(&self, id: PlanId) -> Option<&RegisteredPlan> {
+        self.entries.get(id.0)
+    }
+
+    /// Number of registered plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(id, entry)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlanId, &RegisteredPlan)> {
+        self.entries.iter().enumerate().map(|(i, e)| (PlanId(i), e))
+    }
+
+    /// Consume the registry, yielding entries in registration order — the
+    /// handoff a sharded engine uses to move each plan onto its worker.
+    pub fn into_entries(self) -> Vec<RegisteredPlan> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::layer::DenseLayer;
+    use neurofail_nn::network::Layer;
+
+    fn net() -> Arc<Mlp> {
+        Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![1.0, 2.0],
+            0.0,
+        ))
+    }
+
+    #[test]
+    fn register_assigns_dense_ids_and_shares_the_net() {
+        let net = net();
+        let mut reg = PlanRegistry::new();
+        let a = reg
+            .register(Arc::clone(&net), &InjectionPlan::none(), 1.0)
+            .unwrap();
+        let b = reg
+            .register(Arc::clone(&net), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        assert_eq!((a, b), (PlanId(0), PlanId(1)));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        // One network backs both plans without a weight clone.
+        assert!(Arc::ptr_eq(
+            reg.get(a).unwrap().net(),
+            reg.get(b).unwrap().net()
+        ));
+        assert_eq!(reg.get(b).unwrap().input_dim(), 2);
+        assert!(reg.get(PlanId(2)).is_none());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn register_propagates_compile_errors() {
+        let mut reg = PlanRegistry::new();
+        let err = reg.register(net(), &InjectionPlan::crash([(5, 0)]), 1.0);
+        assert!(matches!(err, Err(PlanError::BadNeuron { .. })));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn eval_singleton_matches_direct_singleton_batch() {
+        let net = net();
+        let mut reg = PlanRegistry::new();
+        let id = reg
+            .register(Arc::clone(&net), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        let entry = reg.get(id).unwrap();
+        let mut ws = BatchWorkspace::default();
+        let x = [0.5, 0.25];
+        let got = entry.eval_singleton(&x, &mut ws);
+        let c = CompiledPlan::compile(&InjectionPlan::crash([(0, 1)]), &net, 1.0).unwrap();
+        let xs = Matrix::from_vec(1, 2, x.to_vec());
+        let direct = c.output_error_batch(&net, &xs, &mut ws)[0];
+        assert_eq!(got.to_bits(), direct.to_bits());
+        // Batched evaluation through the registry matches row-wise.
+        let xs3 = Matrix::from_vec(3, 2, vec![0.5, 0.25, 0.0, 0.0, 1.0, -1.0]);
+        let batch = entry.eval_batch(&xs3, &mut ws);
+        assert_eq!(batch[0].to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(PlanId(3).to_string(), "plan#3");
+    }
+}

@@ -15,7 +15,12 @@
 //!   batched twin — [`network::BatchWorkspace`], [`network::BatchTap`] and
 //!   [`network::Mlp::forward_batch`] — evaluates whole input batches
 //!   through one GEMM + one vectorised activation sweep per layer, and is
-//!   the substrate of every campaign-scale workload in `neurofail-inject`.
+//!   the substrate of every campaign-scale workload in `neurofail-inject`
+//!   and of the serving engine (`neurofail-serve`). Workspaces are
+//!   shape-only state that [`network::BatchWorkspace::reshape`]s in place,
+//!   reusing allocations — long-lived consumers evaluating varying batch
+//!   sizes (tolerance searches, serving flush loops) allocate nothing in
+//!   the steady state.
 //! * [`topology`] — extraction of `(L, N_l, w_m^(l), K, sup ϕ)`, everything
 //!   the analytical bounds need ("computing this quantity only requires
 //!   looking at the topology of the network").

@@ -241,15 +241,23 @@ impl BatchWorkspace {
         self.batch
     }
 
-    /// Resize all buffers for `batch` inputs through `net`.
+    /// Resize all buffers for `batch` inputs through `net`, reusing the
+    /// existing allocations where they are large enough.
+    ///
+    /// Long-lived pipelines that evaluate the same network under varying
+    /// batch sizes — tolerance searches, and especially the serving
+    /// engine's flush loop, whose coalesced batch size changes on every
+    /// flush — hit this on most calls; after the workspace has grown to
+    /// the largest batch seen, reshaping is allocation-free.
     pub fn reshape(&mut self, net: &Mlp, batch: usize) {
         self.batch = batch;
-        self.sums = net
-            .layers
-            .iter()
-            .map(|l| Matrix::zeros(batch, l.out_dim()))
-            .collect();
-        self.outs = self.sums.clone();
+        let nl = net.layers.len();
+        self.sums.resize_with(nl, || Matrix::zeros(0, 0));
+        self.outs.resize_with(nl, || Matrix::zeros(0, 0));
+        for (l, layer) in net.layers.iter().enumerate() {
+            self.sums[l].resize(batch, layer.out_dim());
+            self.outs[l].resize(batch, layer.out_dim());
+        }
     }
 
     /// Whether the buffers match `(net, batch)`.
@@ -474,6 +482,30 @@ impl Mlp {
     }
 
     /// Batched forward pass without taps: `B` inputs → `B` outputs.
+    ///
+    /// # Example
+    /// ```
+    /// use neurofail_data::rng::rng;
+    /// use neurofail_nn::activation::Activation;
+    /// use neurofail_nn::{BatchWorkspace, MlpBuilder, Workspace};
+    /// use neurofail_tensor::{init::Init, Matrix};
+    ///
+    /// let net = MlpBuilder::new(2)
+    ///     .dense(6, Activation::Sigmoid { k: 1.0 })
+    ///     .init(Init::Xavier)
+    ///     .build(&mut rng(1));
+    ///
+    /// // One GEMM + one activation sweep per layer for all four inputs.
+    /// let xs = Matrix::from_fn(4, 2, |r, c| 0.1 * (r + c) as f64);
+    /// let mut ws = BatchWorkspace::for_net(&net, 4);
+    /// let ys = net.forward_batch(&xs, &mut ws);
+    ///
+    /// // Each row agrees with the scalar engine to ≤ 1e-12.
+    /// let mut sws = Workspace::for_net(&net);
+    /// for (b, &y) in ys.iter().enumerate() {
+    ///     assert!((y - net.forward_ws(xs.row(b), &mut sws)).abs() <= 1e-12);
+    /// }
+    /// ```
     pub fn forward_batch(&self, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
         self.forward_batch_tapped(xs, ws, &mut NoBatchTap)
     }

@@ -139,16 +139,18 @@ impl BatchBackpropWs {
         ws
     }
 
-    /// Resize the backward buffers for `batch` examples through `net`
-    /// (the forward half reshapes itself inside `forward_batch`).
+    /// Resize the backward buffers for `batch` examples through `net`,
+    /// reusing existing allocations where large enough (the forward half
+    /// reshapes itself inside `forward_batch`).
     fn reshape(&mut self, net: &Mlp, batch: usize) {
-        self.delta = net
-            .layers()
-            .iter()
-            .map(|l| Matrix::zeros(batch, l.out_dim()))
-            .collect();
+        let nl = net.layers().len();
+        self.delta.resize_with(nl, || Matrix::zeros(0, 0));
+        for (m, l) in self.delta.iter_mut().zip(net.layers()) {
+            m.resize(batch, l.out_dim());
+        }
         let widest = net.layers().iter().map(|l| l.out_dim()).max().unwrap_or(0);
-        self.dphi = vec![0.0; batch * widest];
+        self.dphi.clear();
+        self.dphi.resize(batch * widest, 0.0);
     }
 
     /// Whether the backward buffers match `(net, batch)`.

@@ -90,6 +90,27 @@ impl TrainReport {
 /// two engines see the same RNG stream (batch schedules match), and their
 /// loss trajectories agree within floating-point re-association noise.
 ///
+/// # Example
+/// ```
+/// use neurofail_data::{functions::Ridge, rng::rng, Dataset};
+/// use neurofail_nn::activation::Activation;
+/// use neurofail_nn::train::{train, TrainConfig};
+/// use neurofail_nn::MlpBuilder;
+/// use neurofail_tensor::init::Init;
+///
+/// let mut r = rng(11);
+/// let data = Dataset::sample(&Ridge::canonical(2), 64, &mut r);
+/// let mut net = MlpBuilder::new(2)
+///     .dense(8, Activation::Sigmoid { k: 1.0 })
+///     .init(Init::Xavier)
+///     .build(&mut r);
+///
+/// let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+/// let report = train(&mut net, &data, &cfg, &mut r);
+/// assert_eq!(report.epoch_mse.len(), 5);
+/// assert!(report.final_mse().is_finite());
+/// ```
+///
 /// # Panics
 /// If `data` is empty or its dimension does not match the network.
 pub fn train(net: &mut Mlp, data: &Dataset, cfg: &TrainConfig, rng: &mut DetRng) -> TrainReport {

@@ -19,6 +19,9 @@
 //!   `crossbeam::thread::scope` (no `'static` bound on closures or data).
 //! * [`seed::SeedSequence`] — deterministic per-task RNG seed derivation so
 //!   results are *identical* regardless of thread count or scheduling.
+//! * [`channel`] — bounded FIFO channels with deadline receives and clean
+//!   disconnect semantics, the backpressure substrate of the serving
+//!   engine's micro-batching queues (`neurofail-serve`).
 //!
 //! Design notes (following the workspace HPC guides):
 //!
@@ -32,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod combinators;
 pub mod policy;
 pub mod seed;

@@ -1,6 +1,6 @@
 //! Uniform fixed-point quantisation.
 //!
-//! The memory-reduction strategies Theorem 5 explains (Proteus [31]) store
+//! The memory-reduction strategies Theorem 5 explains (Proteus, paper ref. 31) store
 //! weights and activations at reduced precision. The model here is the
 //! standard symmetric fixed-point quantiser: values are rounded to the
 //! nearest multiple of `step = 2^(−frac_bits)` and clamped to

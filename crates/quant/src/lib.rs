@@ -9,7 +9,7 @@
 //! * [`network`] — quantised execution: activation storage reduction (the
 //!   theorem's post-activation locus) and offline weight rounding (the
 //!   pre-activation locus), with per-layer `λ_l` extractors.
-//! * [`memory`] — the bits-versus-baseline cost model (the Proteus [31]
+//! * [`memory`] — the bits-versus-baseline cost model (the Proteus (paper ref. 31)
 //!   trade-off's x-axis).
 //! * [`sweep`] — the measured-vs-bound-vs-memory sweep that regenerates
 //!   experiment E9.

@@ -1,6 +1,6 @@
 //! Memory-cost model for reduced-precision deployments.
 //!
-//! The Proteus-style trade-off [31] that Theorem 5 explains: fewer bits per
+//! The Proteus-style trade-off (paper ref. 31) that Theorem 5 explains: fewer bits per
 //! stored value → less memory → more output error. This model counts the
 //! stored values of a network (weights, biases, output weights, plus one
 //! activation slot per neuron) and prices them at a given bit width against

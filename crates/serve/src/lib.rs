@@ -1,0 +1,93 @@
+//! # neurofail-serve
+//!
+//! Async certification serving for the `neurofail` workspace: answer many
+//! small independent disturbance queries `|F_neu(x) − F_fail(x)|` against
+//! long-lived registered fault plans, at batched-engine throughput.
+//!
+//! Campaigns evaluate one plan over a large input set; a *service*
+//! receives the transpose — a stream of single-input queries from many
+//! concurrent clients, each against some registered plan. Serving each
+//! query as its own scalar evaluation forfeits everything the batched
+//! substrate won. This crate closes that gap with **micro-batching**: per
+//! registered plan, a worker shard collects queued queries and flushes
+//! them through one
+//! [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
+//! call — on `max_batch` rows, or when the `max_wait` coalescing deadline
+//! expires, whichever is first.
+//!
+//! The design is thread + bounded-channel based (no async runtime — the
+//! workspace is dependency-free), built from:
+//!
+//! * [`neurofail_inject::PlanRegistry`] — the plan set being served;
+//! * [`neurofail_par::channel`] — bounded FIFO queues giving backpressure
+//!   and deadline-based flush timing;
+//! * per-worker [`neurofail_nn::BatchWorkspace`]s reused across flushes
+//!   (allocation-free in the steady state).
+//!
+//! ## Contracts
+//!
+//! * **Bitwise serving equivalence** — every served value equals a direct
+//!   singleton `output_error_batch` evaluation of that input, bit for bit,
+//!   regardless of how requests were coalesced, how many workers a shard
+//!   runs, or the arrival order. This is the batched engine's per-row
+//!   independence surfacing at the service boundary, and is
+//!   property-tested in `tests/serve_equivalence.rs`.
+//! * **Deterministic replay** — with [`ServeConfig::record_log`] on, the
+//!   server records `(plan, seq, input, value)` for every request;
+//!   [`RequestLog::verify`] replays each entry directly and requires
+//!   bitwise agreement.
+//! * **Graceful shutdown** — [`CertServer::shutdown`] stops intake
+//!   (type-enforced: it consumes the server), drains every queued
+//!   request, joins the workers, and leaves all outstanding
+//!   [`ResponseHandle`]s resolvable. No accepted request is dropped.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use neurofail_inject::{InjectionPlan, PlanRegistry};
+//! use neurofail_nn::activation::Activation;
+//! use neurofail_nn::MlpBuilder;
+//! use neurofail_serve::{CertServer, ServeConfig};
+//! use neurofail_data::rng::rng;
+//! use neurofail_tensor::init::Init;
+//!
+//! // A trained (here: randomly initialised) network and a fault plan.
+//! let net = Arc::new(
+//!     MlpBuilder::new(2)
+//!         .dense(8, Activation::Sigmoid { k: 1.0 })
+//!         .dense(8, Activation::Sigmoid { k: 1.0 })
+//!         .init(Init::Uniform { a: 0.8 })
+//!         .build(&mut rng(7)),
+//! );
+//! let mut registry = PlanRegistry::new();
+//! let plan = registry
+//!     .register(net, &InjectionPlan::crash([(0, 1), (1, 3)]), 1.0)
+//!     .unwrap();
+//!
+//! // Serve it. Queries coalesce into batched evaluations transparently.
+//! let server = CertServer::start(&registry, ServeConfig::default());
+//! let disturbance = server.query(plan, &[0.25, 0.75]).unwrap();
+//! assert!(disturbance >= 0.0);
+//!
+//! // Asynchronous use: submit now, wait later.
+//! let handle = server.submit(plan, vec![0.5, 0.5]).unwrap();
+//! let response = handle.wait_response().unwrap();
+//! assert!(response.batch_rows >= 1);
+//!
+//! let stats = server.stats(plan).unwrap();
+//! assert_eq!(stats.rows_served, 2);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod replay;
+pub mod server;
+pub mod stats;
+
+pub use config::ServeConfig;
+pub use replay::{LogEntry, ReplayError, RequestLog};
+pub use server::{CertServer, ResponseDropped, ResponseHandle, ServedResponse, SubmitError};
+pub use stats::{ServeStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS};

@@ -1,0 +1,811 @@
+//! The certification server: plan-sharded workers behind micro-batching
+//! queues.
+//!
+//! Topology: every registered plan gets one **shard** — a bounded request
+//! queue ([`neurofail_par::channel`]) plus one or more worker threads that
+//! own a clone of the plan's [`RegisteredPlan`] and a private
+//! [`BatchWorkspace`]. Workers run the micro-batching loop:
+//!
+//! 1. block on the queue for a first request;
+//! 2. greedily drain further requests (without blocking) up to
+//!    [`ServeConfig::max_batch`];
+//! 3. if the batch is still short, wait for more until the
+//!    [`ServeConfig::max_wait`] deadline;
+//! 4. gather the batch's inputs into one reused `B × d` matrix, evaluate
+//!    `|F_neu − F_fail|` for all rows through one
+//!    [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
+//!    call, and route each row's value back through its response handle.
+//!
+//! Per-row batch independence makes the coalescing semantically invisible:
+//! each response is bitwise the value a direct singleton evaluation
+//! returns, so callers cannot tell (except in latency) how their query was
+//! batched. Shutdown is graceful by construction — dropping the queue
+//! senders lets workers drain everything still queued before they observe
+//! the disconnect and exit, so no accepted request is ever dropped.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use neurofail_inject::{PlanId, PlanRegistry, RegisteredPlan};
+use neurofail_nn::BatchWorkspace;
+use neurofail_par::channel::{self, TrySendError};
+use neurofail_tensor::Matrix;
+use parking_lot::Mutex;
+
+use crate::config::ServeConfig;
+use crate::replay::{LogEntry, RequestLog};
+use crate::stats::{ServeStats, ShardStats};
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// No plan with this id is registered.
+    UnknownPlan(
+        /// The offending id.
+        PlanId,
+    ),
+    /// The input's length does not match the plan's network.
+    DimensionMismatch {
+        /// Input dimension the plan's network expects.
+        expected: usize,
+        /// Length of the submitted input.
+        got: usize,
+    },
+    /// The shard's queue is at capacity (returned by
+    /// [`CertServer::try_submit`] only; [`CertServer::submit`] blocks
+    /// instead).
+    QueueFull,
+    /// Every worker of this plan's shard has died (panicked), so nothing
+    /// would ever serve the request.
+    ShardDown(
+        /// The affected plan.
+        PlanId,
+    ),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownPlan(id) => write!(f, "no registered {id}"),
+            SubmitError::DimensionMismatch { expected, got } => {
+                write!(f, "input dimension {got}, plan expects {expected}")
+            }
+            SubmitError::QueueFull => write!(f, "shard queue full (backpressure)"),
+            SubmitError::ShardDown(id) => {
+                write!(f, "every worker of {id}'s shard has died")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The response never arrived: the serving worker died (panicked) before
+/// answering. Cannot happen through orderly shutdown, which drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseDropped;
+
+impl std::fmt::Display for ResponseDropped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serving worker dropped the response")
+    }
+}
+
+impl std::error::Error for ResponseDropped {}
+
+/// A served response with its serving metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedResponse {
+    /// The disturbance `|F_neu(x) − F_fail(x)|`.
+    pub value: f64,
+    /// The request's global submission sequence number.
+    pub seq: u64,
+    /// How many rows rode in the flush that served this request.
+    pub batch_rows: usize,
+    /// Submit→response latency.
+    pub latency: Duration,
+}
+
+/// The response rendezvous: a single shared allocation per request (much
+/// lighter on the submit path than an `mpsc` channel, which is why serve
+/// carries its own). The worker fulfills it once; dropping the worker-side
+/// [`Responder`] unfulfilled marks it dead so waiters never hang.
+#[derive(Debug)]
+struct OneShot {
+    slot: StdMutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Ready(ServedResponse),
+    Dead,
+}
+
+impl OneShot {
+    fn new() -> Arc<OneShot> {
+        Arc::new(OneShot {
+            slot: StdMutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+}
+
+/// Worker-side half of a [`OneShot`]: fulfil exactly once, or mark dead on
+/// drop (worker panic) so the waiter errors instead of hanging.
+struct Responder(Arc<OneShot>);
+
+impl Responder {
+    fn send(self, resp: ServedResponse) {
+        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = SlotState::Ready(resp);
+        drop(slot);
+        self.0.ready.notify_one();
+        // The subsequent Drop sees `Ready` and leaves it in place.
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*slot, SlotState::Pending) {
+            *slot = SlotState::Dead;
+            drop(slot);
+            self.0.ready.notify_one();
+        }
+    }
+}
+
+/// Caller-side handle to one in-flight query.
+///
+/// Dropping the handle is allowed (fire-and-forget); the worker still
+/// evaluates and logs the request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<OneShot>,
+    seq: u64,
+}
+
+impl ResponseHandle {
+    /// The request's global submission sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Block until the response arrives and return the served value.
+    ///
+    /// # Errors
+    /// [`ResponseDropped`] if the serving worker died before answering.
+    pub fn wait(self) -> Result<f64, ResponseDropped> {
+        self.wait_response().map(|r| r.value)
+    }
+
+    /// Block until the response arrives, returning value + metadata.
+    ///
+    /// # Errors
+    /// [`ResponseDropped`] if the serving worker died before answering.
+    pub fn wait_response(self) -> Result<ServedResponse, ResponseDropped> {
+        let mut slot = self.slot.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match *slot {
+                SlotState::Ready(resp) => return Ok(resp),
+                SlotState::Dead => return Err(ResponseDropped),
+                SlotState::Pending => {
+                    slot = self
+                        .slot
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the response is ready (the response
+    /// stays readable; a later [`wait`](Self::wait) returns it again).
+    pub fn poll(&self) -> Option<ServedResponse> {
+        match *self.slot.slot.lock().unwrap_or_else(|e| e.into_inner()) {
+            SlotState::Ready(resp) => Some(resp),
+            _ => None,
+        }
+    }
+}
+
+/// One queued query.
+struct Request {
+    seq: u64,
+    input: Vec<f64>,
+    submitted: Instant,
+    resp: Responder,
+}
+
+/// One plan's queue, workers and stats.
+struct Shard {
+    /// `Some` while the server accepts traffic; taken (dropped) at
+    /// shutdown so workers can drain and exit.
+    tx: Option<channel::Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ShardStats>,
+    input_dim: usize,
+}
+
+/// The async certification server: registered plans behind micro-batching
+/// worker shards. See the [crate docs](crate) for the full contract and a
+/// usage example.
+pub struct CertServer {
+    shards: Vec<Shard>,
+    seq: AtomicU64,
+    log: Option<Arc<Mutex<Vec<LogEntry>>>>,
+}
+
+impl CertServer {
+    /// Spawn a server over every plan in `registry` (cloned out of it; the
+    /// caller keeps the registry, e.g. for replay verification).
+    ///
+    /// # Panics
+    /// On nonsensical `cfg` (zero `max_batch` or `queue_capacity`).
+    pub fn start(registry: &PlanRegistry, cfg: ServeConfig) -> CertServer {
+        cfg.validate();
+        let log = cfg
+            .record_log
+            .then(|| Arc::new(Mutex::new(Vec::<LogEntry>::new())));
+        let shards = registry
+            .iter()
+            .map(|(id, entry)| {
+                let (tx, rx) = channel::bounded::<Request>(cfg.queue_capacity);
+                let stats = Arc::new(ShardStats::default());
+                let alive = Arc::new(AtomicUsize::new(cfg.workers.worker_count()));
+                let workers = (0..cfg.workers.worker_count())
+                    .map(|_| {
+                        let entry = entry.clone();
+                        let rx = rx.clone();
+                        let stats = Arc::clone(&stats);
+                        let log = log.clone();
+                        let alive = Arc::clone(&alive);
+                        std::thread::Builder::new()
+                            .name(format!("neurofail-serve-{id}"))
+                            .spawn(move || worker_loop(id, entry, rx, cfg, stats, log, alive))
+                            .expect("spawn serve worker")
+                    })
+                    .collect();
+                Shard {
+                    tx: Some(tx),
+                    workers,
+                    stats,
+                    input_dim: entry.input_dim(),
+                }
+            })
+            .collect();
+        CertServer {
+            shards,
+            seq: AtomicU64::new(0),
+            log,
+        }
+    }
+
+    /// Number of plan shards (equals the registry's plan count).
+    pub fn plan_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Input dimension queries against `plan` must have.
+    pub fn input_dim(&self, plan: PlanId) -> Option<usize> {
+        self.shards.get(plan.0).map(|s| s.input_dim)
+    }
+
+    fn checked_shard(&self, plan: PlanId, input: &[f64]) -> Result<&Shard, SubmitError> {
+        let shard = self
+            .shards
+            .get(plan.0)
+            .ok_or(SubmitError::UnknownPlan(plan))?;
+        if input.len() != shard.input_dim {
+            return Err(SubmitError::DimensionMismatch {
+                expected: shard.input_dim,
+                got: input.len(),
+            });
+        }
+        Ok(shard)
+    }
+
+    fn make_request(&self, input: Vec<f64>) -> (Request, ResponseHandle) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let slot = OneShot::new();
+        (
+            Request {
+                seq,
+                input,
+                submitted: Instant::now(),
+                resp: Responder(Arc::clone(&slot)),
+            },
+            ResponseHandle { slot, seq },
+        )
+    }
+
+    /// Enqueue a disturbance query against `plan`, blocking while the
+    /// shard's queue is full (backpressure).
+    ///
+    /// # Errors
+    /// [`SubmitError::UnknownPlan`] / [`SubmitError::DimensionMismatch`]
+    /// on malformed submissions (the queue is never touched), and
+    /// [`SubmitError::ShardDown`] if every worker of the shard has
+    /// panicked (the queue is disconnected: nothing would serve the
+    /// request).
+    pub fn submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
+        let shard = self.checked_shard(plan, &input)?;
+        let tx = shard.tx.as_ref().expect("server accepts traffic");
+        let (req, handle) = self.make_request(input);
+        let Ok(depth) = tx.send(req) else {
+            // All receiver clones are gone ⇒ every shard worker died.
+            return Err(SubmitError::ShardDown(plan));
+        };
+        shard.stats.on_submit(depth);
+        Ok(handle)
+    }
+
+    /// Enqueue without blocking: a full queue is reported as
+    /// [`SubmitError::QueueFull`] (and counted in the shard's
+    /// [`ServeStats::rejected`]) instead of waiting.
+    ///
+    /// # Errors
+    /// As [`CertServer::submit`], plus [`SubmitError::QueueFull`].
+    pub fn try_submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
+        let shard = self.checked_shard(plan, &input)?;
+        let tx = shard.tx.as_ref().expect("server accepts traffic");
+        let (req, handle) = self.make_request(input);
+        match tx.try_send(req) {
+            Ok(depth) => {
+                shard.stats.on_submit(depth);
+                Ok(handle)
+            }
+            Err(TrySendError::Full(_)) => {
+                shard.stats.on_reject();
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShardDown(plan)),
+        }
+    }
+
+    /// Synchronous convenience: submit and wait.
+    ///
+    /// # Errors
+    /// As [`CertServer::submit`].
+    ///
+    /// # Panics
+    /// If the serving worker died before answering (worker panic).
+    pub fn query(&self, plan: PlanId, input: &[f64]) -> Result<f64, SubmitError> {
+        let handle = self.submit(plan, input.to_vec())?;
+        Ok(handle.wait().expect("serving worker answered"))
+    }
+
+    /// Snapshot `plan`'s serving statistics.
+    pub fn stats(&self, plan: PlanId) -> Option<ServeStats> {
+        self.shards.get(plan.0).map(|s| {
+            let depth = s.tx.as_ref().map_or(0, channel::Sender::len);
+            s.stats.snapshot(depth)
+        })
+    }
+
+    /// Drain the recorded request log (entries sorted by submission
+    /// sequence number). Empty unless
+    /// [`ServeConfig::record_log`](crate::ServeConfig::record_log) was set.
+    /// Entries of in-flight requests appear only once served — call after
+    /// their responses (or after [`CertServer::shutdown`]) for a complete
+    /// log.
+    pub fn take_log(&self) -> RequestLog {
+        let mut entries = match &self.log {
+            Some(log) => std::mem::take(&mut *log.lock()),
+            None => Vec::new(),
+        };
+        entries.sort_by_key(|e| e.seq);
+        RequestLog { entries }
+    }
+
+    fn shutdown_inner(&mut self) {
+        for shard in &mut self.shards {
+            // Dropping the sender disconnects the queue; workers drain
+            // whatever is still queued, then exit.
+            shard.tx = None;
+        }
+        for shard in &mut self.shards {
+            for worker in shard.workers.drain(..) {
+                // A worker panic already surfaced to its waiters as
+                // `ResponseDropped`; joining must not double-panic the
+                // caller mid-shutdown.
+                let _ = worker.join();
+            }
+        }
+    }
+
+    /// Graceful shutdown: stop accepting traffic, let workers drain every
+    /// queued request (all outstanding [`ResponseHandle`]s resolve), join
+    /// them, and return each plan's final stats in [`PlanId`] order.
+    ///
+    /// Taking `self` by value makes the grace period type-checked: no
+    /// other thread can still hold `&self` to submit with.
+    pub fn shutdown(mut self) -> Vec<ServeStats> {
+        self.shutdown_inner();
+        self.shards.iter().map(|s| s.stats.snapshot(0)).collect()
+    }
+}
+
+impl Drop for CertServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Unwind insurance for a shard's waiters: when the *last* worker of a
+/// shard exits — normally (queue already drained) or by panic — whatever
+/// is still queued can never be served, so the guard drains it and drops
+/// the requests, dead-marking their response slots. Waiters then observe
+/// [`ResponseDropped`] instead of hanging. A submission racing the final
+/// drain against the panicking shard can in principle still slip in
+/// between the last drain pass and the receiver drop; the window is a few
+/// instructions wide and only reachable after a worker panic, which the
+/// public API cannot trigger (inputs are validated at submit).
+struct WorkerGuard {
+    rx: channel::Receiver<Request>,
+    alive: Arc<AtomicUsize>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if self.alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut leftovers = Vec::new();
+            while self.rx.recv_up_to(&mut leftovers, 64) > 0 {
+                leftovers.clear(); // dropping each Request dead-marks its slot
+            }
+        }
+    }
+}
+
+/// The micro-batching worker loop (one per shard worker thread).
+fn worker_loop(
+    plan: PlanId,
+    entry: RegisteredPlan,
+    rx: channel::Receiver<Request>,
+    cfg: ServeConfig,
+    stats: Arc<ShardStats>,
+    log: Option<Arc<Mutex<Vec<LogEntry>>>>,
+    alive: Arc<AtomicUsize>,
+) {
+    let _guard = WorkerGuard {
+        rx: rx.clone(),
+        alive,
+    };
+    let dim = entry.input_dim();
+    let mut ws = BatchWorkspace::default();
+    let mut xs = Matrix::zeros(0, dim);
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.max_batch);
+
+    loop {
+        // Phase 1: block for the batch's first request (or exit once the
+        // server dropped the sender and the queue is drained).
+        let Ok(first) = rx.recv() else { break };
+        batch.push(first);
+
+        // Phase 2: greedy bulk drain (one queue lock for the whole grab),
+        // then wait out the flush deadline if the batch is still short.
+        let mut room = cfg.max_batch - batch.len();
+        rx.recv_up_to(&mut batch, room);
+        if !cfg.max_wait.is_zero() && batch.len() < cfg.max_batch {
+            let deadline = Instant::now() + cfg.max_wait;
+            while batch.len() < cfg.max_batch {
+                match rx.recv_deadline(deadline) {
+                    Ok(req) => {
+                        batch.push(req);
+                        room = cfg.max_batch - batch.len();
+                        rx.recv_up_to(&mut batch, room);
+                    }
+                    Err(_) => break, // deadline passed or disconnected: flush
+                }
+            }
+        }
+
+        // Phase 3: one batched evaluation for the whole flush. Row order
+        // is queue order, but per-row independence makes it irrelevant to
+        // the values served.
+        xs.resize(batch.len(), dim);
+        for (row, req) in batch.iter().enumerate() {
+            xs.row_mut(row).copy_from_slice(&req.input);
+        }
+        let values = entry.eval_batch(&xs, &mut ws);
+        let done = Instant::now();
+
+        // Phase 4: account, record, respond — in that order, so a caller
+        // that has already received its response never observes stats (or
+        // a log) missing the flush that served it.
+        let rows = batch.len();
+        latencies_ns.clear();
+        latencies_ns.extend(
+            batch
+                .iter()
+                .map(|req| done.duration_since(req.submitted).as_nanos() as u64),
+        );
+        stats.on_flush(rows, &latencies_ns);
+        if let Some(log) = &log {
+            let mut log = log.lock();
+            // Inputs are moved out of the requests (responses don't need
+            // them), so logging adds no per-request allocation.
+            log.extend(batch.iter_mut().zip(&values).map(|(req, &value)| LogEntry {
+                plan: plan.0,
+                seq: req.seq,
+                input: std::mem::take(&mut req.input),
+                value,
+            }));
+        }
+        for (req, &value) in batch.drain(..).zip(&values) {
+            // A dropped handle (fire-and-forget caller) is fine: the slot
+            // is still fulfilled, it just becomes unreachable.
+            req.resp.send(ServedResponse {
+                value,
+                seq: req.seq,
+                batch_rows: rows,
+                latency: done.duration_since(req.submitted),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofail_inject::InjectionPlan;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::layer::DenseLayer;
+    use neurofail_nn::network::Layer;
+    use neurofail_nn::Mlp;
+    use neurofail_par::Parallelism;
+
+    fn test_registry() -> PlanRegistry {
+        let net = Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![1.0, 2.0],
+            0.0,
+        ));
+        let mut reg = PlanRegistry::new();
+        reg.register(Arc::clone(&net), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        reg.register(net, &InjectionPlan::none(), 1.0).unwrap();
+        reg
+    }
+
+    #[test]
+    fn query_returns_the_singleton_value() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        assert_eq!(server.plan_count(), 2);
+        assert_eq!(server.input_dim(PlanId(0)), Some(2));
+        let x = [0.5, 0.25];
+        let served = server.query(PlanId(0), &x).unwrap();
+        let mut ws = BatchWorkspace::default();
+        let direct = reg.get(PlanId(0)).unwrap().eval_singleton(&x, &mut ws);
+        assert_eq!(served.to_bits(), direct.to_bits());
+        // The fault-free plan serves zero disturbance.
+        assert_eq!(server.query(PlanId(1), &x).unwrap(), 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_submissions_are_rejected_without_queueing() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        assert_eq!(
+            server.submit(PlanId(7), vec![0.0, 0.0]).err(),
+            Some(SubmitError::UnknownPlan(PlanId(7)))
+        );
+        assert_eq!(
+            server.submit(PlanId(0), vec![0.0]).err(),
+            Some(SubmitError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(server.input_dim(PlanId(9)), None);
+        assert!(server.stats(PlanId(9)).is_none());
+        let stats = server.shutdown();
+        assert_eq!(stats[0].requests, 0);
+    }
+
+    #[test]
+    fn coalescing_batches_concurrent_clients() {
+        let reg = test_registry();
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        );
+        let n = 64;
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let server = &server;
+                s.spawn(move || {
+                    let x = [i as f64 / n as f64, 0.25];
+                    let resp = server
+                        .submit(PlanId(0), x.to_vec())
+                        .unwrap()
+                        .wait_response()
+                        .unwrap();
+                    assert!(resp.batch_rows >= 1 && resp.batch_rows <= 8);
+                });
+            }
+        });
+        let stats = server.stats(PlanId(0)).unwrap();
+        assert_eq!(stats.rows_served, n);
+        assert!(stats.flushes <= n, "flushes {} > rows {}", stats.flushes, n);
+        // 64 concurrent clients against max_batch 8 must coalesce at
+        // least once; mean batch > 1 shows the scheduler actually batched.
+        assert!(
+            stats.mean_batch > 1.0,
+            "no coalescing happened (mean batch {})",
+            stats.mean_batch
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_all_queued_requests() {
+        let reg = test_registry();
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                // Tiny batches + long wait: the queue stays populated when
+                // shutdown lands.
+                max_batch: 2,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 512,
+                ..ServeConfig::default()
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..200)
+            .map(|i| {
+                server
+                    .submit(PlanId(i % 2), vec![i as f64 * 1e-3, 0.5])
+                    .unwrap()
+            })
+            .collect();
+        let stats = server.shutdown();
+        assert_eq!(stats[0].rows_served + stats[1].rows_served, 200);
+        let mut ws = BatchWorkspace::default();
+        for (i, h) in handles.into_iter().enumerate() {
+            let served = h.wait().expect("request survived shutdown");
+            let direct = reg
+                .get(PlanId(i % 2))
+                .unwrap()
+                .eval_singleton(&[i as f64 * 1e-3, 0.5], &mut ws);
+            assert_eq!(served.to_bits(), direct.to_bits(), "request {i}");
+        }
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        let reg = test_registry();
+        // A server whose single worker is easy to stall: capacity 1 queue.
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // Saturate: keep try_submitting until backpressure appears. The
+        // worker keeps draining, so loop rather than assert a single call.
+        let mut saw_full = false;
+        let mut handles = Vec::new();
+        for _ in 0..10_000 {
+            match server.try_submit(PlanId(0), vec![0.1, 0.2]) {
+                Ok(h) => handles.push(h),
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_full, "queue of capacity 1 never reported Full");
+        let stats = server.stats(PlanId(0)).unwrap();
+        assert_eq!(stats.rejected, 1);
+        server.shutdown();
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn multi_worker_shards_serve_identical_values() {
+        let reg = test_registry();
+        for workers in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let server = CertServer::start(
+                &reg,
+                ServeConfig {
+                    max_batch: 4,
+                    workers,
+                    ..ServeConfig::default()
+                },
+            );
+            let mut ws = BatchWorkspace::default();
+            std::thread::scope(|s| {
+                for i in 0..32 {
+                    let server = &server;
+                    s.spawn(move || {
+                        let x = [i as f64 * 0.03, -0.4];
+                        server.query(PlanId(0), &x).unwrap()
+                    });
+                }
+            });
+            for i in 0..4 {
+                let x = [i as f64 * 0.03, -0.4];
+                let served = server.query(PlanId(0), &x).unwrap();
+                let direct = reg.get(PlanId(0)).unwrap().eval_singleton(&x, &mut ws);
+                assert_eq!(served.to_bits(), direct.to_bits(), "{workers:?}");
+            }
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn recorded_log_verifies_against_the_registry() {
+        let reg = test_registry();
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                record_log: true,
+                max_batch: 4,
+                max_wait: Duration::from_micros(50),
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..20 {
+            server
+                .query(PlanId(i % 2), &[i as f64 * 0.05, 0.3])
+                .unwrap();
+        }
+        let log = server.take_log();
+        assert_eq!(log.len(), 20);
+        // seq order, gap-free.
+        let seqs: Vec<u64> = log.entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<u64>>());
+        log.verify(&reg).unwrap();
+        // The log was drained.
+        assert!(server.take_log().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_track_latency_and_histogram() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        for _ in 0..10 {
+            server.query(PlanId(0), &[0.1, 0.9]).unwrap();
+        }
+        let stats = server.stats(PlanId(0)).unwrap();
+        assert_eq!(stats.requests, 10);
+        assert_eq!(stats.rows_served, 10);
+        assert!(stats.p50_latency > Duration::ZERO);
+        assert!(stats.p99_latency >= stats.p50_latency);
+        assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.flushes);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_server_joins_workers() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        let h = server.submit(PlanId(0), vec![0.2, 0.2]).unwrap();
+        drop(server); // Drop runs the same drain-and-join path as shutdown().
+        h.wait().expect("drained on drop");
+    }
+}

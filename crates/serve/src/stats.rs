@@ -1,0 +1,215 @@
+//! Per-shard serving statistics: traffic counters, batch-size histogram
+//! and latency quantiles.
+//!
+//! Counters are plain relaxed atomics updated by shard workers and the
+//! submit path; latencies go into a fixed-size ring reservoir behind a
+//! mutex locked once per flush. A [`ServeStats`] snapshot is computed on
+//! demand and is internally consistent only in the eventual sense — it is
+//! an operational dashboard, not a synchronisation primitive.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Batch-size histogram buckets: `1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, ≤128, >128`.
+pub const BATCH_BUCKETS: usize = 9;
+
+/// Upper-edge labels for the histogram buckets, aligned with the entries
+/// of [`ServeStats::batch_hist`].
+pub const BATCH_BUCKET_LABELS: [&str; BATCH_BUCKETS] = [
+    "1", "2", "<=4", "<=8", "<=16", "<=32", "<=64", "<=128", ">128",
+];
+
+/// Bucket index for a flush of `rows` rows.
+pub(crate) fn bucket_of(rows: usize) -> usize {
+    match rows {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        65..=128 => 7,
+        _ => 8,
+    }
+}
+
+/// Number of per-request latency samples retained per shard (a ring: the
+/// most recent samples win).
+const RESERVOIR: usize = 4096;
+
+/// Shared mutable statistics of one plan shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    flushes: AtomicU64,
+    rows: AtomicU64,
+    hist: [AtomicU64; BATCH_BUCKETS],
+    max_queue_depth: AtomicUsize,
+    latencies: Mutex<Reservoir>,
+}
+
+#[derive(Debug, Default)]
+struct Reservoir {
+    /// Latency samples in nanoseconds, ring-ordered.
+    samples: Vec<u64>,
+    /// Next ring slot to overwrite once `samples` reaches capacity.
+    next: usize,
+}
+
+impl ShardStats {
+    /// A request was accepted; `observed_depth` is the queue length right
+    /// after the enqueue.
+    pub(crate) fn on_submit(&self, observed_depth: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(observed_depth, Ordering::Relaxed);
+    }
+
+    /// A `try_submit` bounced off a full queue.
+    pub(crate) fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker flushed a batch of `rows` rows whose per-request latencies
+    /// are `latencies_ns`.
+    pub(crate) fn on_flush(&self, rows: usize, latencies_ns: &[u64]) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.hist[bucket_of(rows)].fetch_add(1, Ordering::Relaxed);
+        let mut res = self.latencies.lock();
+        for &ns in latencies_ns {
+            if res.samples.len() < RESERVOIR {
+                res.samples.push(ns);
+            } else {
+                let slot = res.next;
+                res.samples[slot] = ns;
+                res.next = (slot + 1) % RESERVOIR;
+            }
+        }
+    }
+
+    /// Snapshot the counters; `queue_depth` is the caller-observed live
+    /// queue length.
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServeStats {
+        let mut hist = [0u64; BATCH_BUCKETS];
+        for (out, bucket) in hist.iter_mut().zip(&self.hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        let mut samples = self.latencies.lock().samples.clone();
+        samples.sort_unstable();
+        let quantile = |q: f64| -> Duration {
+            if samples.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            Duration::from_nanos(samples[idx])
+        };
+        let flushes = self.flushes.load(Ordering::Relaxed);
+        let rows = self.rows.load(Ordering::Relaxed);
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            flushes,
+            rows_served: rows,
+            mean_batch: if flushes == 0 {
+                0.0
+            } else {
+                rows as f64 / flushes as f64
+            },
+            batch_hist: hist,
+            queue_depth,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            p50_latency: quantile(0.50),
+            p99_latency: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of one plan shard's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted into the shard's queue.
+    pub requests: u64,
+    /// `try_submit` calls bounced by backpressure.
+    pub rejected: u64,
+    /// Batches executed.
+    pub flushes: u64,
+    /// Rows served across all flushes (equals completed requests).
+    pub rows_served: u64,
+    /// Mean rows per flush — the coalescing factor actually achieved.
+    pub mean_batch: f64,
+    /// Flush-size histogram over the [`BATCH_BUCKET_LABELS`] buckets.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Deepest queue observed at any enqueue.
+    pub max_queue_depth: usize,
+    /// Median submit→response latency over the recent-sample reservoir.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit→response latency over the reservoir.
+    pub p99_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_sizes() {
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(8), 3);
+        assert_eq!(bucket_of(64), 6);
+        assert_eq!(bucket_of(65), 7);
+        assert_eq!(bucket_of(1000), 8);
+    }
+
+    #[test]
+    fn snapshot_aggregates_flushes() {
+        let s = ShardStats::default();
+        s.on_submit(3);
+        s.on_submit(5);
+        s.on_reject();
+        s.on_flush(2, &[1_000, 3_000]);
+        s.on_flush(1, &[2_000]);
+        let snap = s.snapshot(7);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.flushes, 2);
+        assert_eq!(snap.rows_served, 3);
+        assert!((snap.mean_batch - 1.5).abs() < 1e-12);
+        assert_eq!(snap.batch_hist[0], 1);
+        assert_eq!(snap.batch_hist[1], 1);
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.max_queue_depth, 5);
+        assert_eq!(snap.p50_latency, Duration::from_nanos(2_000));
+        assert_eq!(snap.p99_latency, Duration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn reservoir_wraps_at_capacity() {
+        let s = ShardStats::default();
+        let ns: Vec<u64> = (0..RESERVOIR as u64 + 100).collect();
+        s.on_flush(ns.len(), &ns);
+        let snap = s.snapshot(0);
+        // The 100 oldest samples were overwritten by the wrap, so the kept
+        // set is exactly {100, …, RESERVOIR+99} and the median shifts by
+        // the evicted prefix.
+        let expected = 100 + ((RESERVOIR - 1) as f64 * 0.5).round() as u64;
+        assert_eq!(snap.p50_latency.as_nanos() as u64, expected);
+    }
+
+    #[test]
+    fn empty_stats_snapshot_is_zeroed() {
+        let snap = ShardStats::default().snapshot(0);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.mean_batch, 0.0);
+        assert_eq!(snap.p99_latency, Duration::ZERO);
+    }
+}

@@ -54,6 +54,23 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Resize in place to `rows × cols`, zero-filling every entry and
+    /// reusing the existing allocation when it is large enough.
+    ///
+    /// This is the buffer-recycling primitive behind workspace reuse in
+    /// long-lived pipelines (batched evaluation under varying batch sizes,
+    /// the serving engine's flush loop): after the first growth to the
+    /// largest shape seen, subsequent resizes perform no allocation.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        // clear + resize (rather than resize alone) so every retained
+        // element is zeroed, matching `Matrix::zeros` semantics; Vec keeps
+        // its capacity across the clear.
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
@@ -469,6 +486,27 @@ mod tests {
     fn gemv_matches_hand_computation() {
         let y = small().gemv(&[1.0, 0.0, -1.0]);
         assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn resize_zero_fills_and_reuses_the_allocation() {
+        let mut m = small();
+        m.resize(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        // Shrinking and re-growing within the high-water mark keeps the
+        // same backing buffer.
+        let ptr = m.data().as_ptr();
+        m.resize(1, 1);
+        assert_eq!(m.data(), &[0.0]);
+        m.resize(2, 3);
+        assert_eq!(ptr, m.data().as_ptr());
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        // Stale values never leak through a resize.
+        m.set(1, 2, 7.0);
+        m.resize(2, 3);
+        assert_eq!(m.get(1, 2), 0.0);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! networks viewed as distributed systems, reproducing El Mhamdi &
 //! Guerraoui, *When Neurons Fail* (IPPS 2017).
 //!
-//! See the README for a tour and `DESIGN.md` for the system inventory.
+//! See the README for a tour and `ARCHITECTURE.md` for the engine
+//! inventory and the determinism contracts that tie them together.
 
 #![warn(missing_docs)]
 
@@ -16,4 +17,5 @@ pub use neurofail_inject as inject;
 pub use neurofail_nn as nn;
 pub use neurofail_par as par;
 pub use neurofail_quant as quant;
+pub use neurofail_serve as serve;
 pub use neurofail_tensor as tensor;

@@ -105,7 +105,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`fn@vec`].
     pub trait SizeRange {
         /// Draw a length.
         fn sample_len(&self, rng: &mut SmallRng) -> usize;
