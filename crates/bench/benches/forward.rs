@@ -75,10 +75,13 @@ fn bench_forward_batch(c: &mut Criterion) {
     group.finish();
 }
 
-/// The acceptance benchmark: campaign evaluation (nominal + faulty pass
-/// per `(plan, input)` pair, i.e. `CompiledPlan::output_error*`) over a
-/// batch of 32 inputs on the 64-wide network, batched engine versus the
-/// scalar per-input path the campaigns used before the refactor.
+/// The PR-1 acceptance benchmark: two-full-passes plan evaluation
+/// (`CompiledPlan::output_error_batch`, the suffix engine's reference
+/// implementation) over a batch of 32 inputs on the 64-wide network,
+/// batched engine versus the scalar per-input path the campaigns used
+/// before that refactor. (Campaigns now resume the faulty pass at the
+/// plan's first faulty layer — see the `multi_plan_eval` bench for that
+/// comparison.)
 fn bench_campaign_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_eval");
     for width in [64usize, 256] {

@@ -1,0 +1,153 @@
+//! Criterion: the multi-plan suffix engine versus per-plan batched
+//! evaluation.
+//!
+//! The acceptance workload is the paper's exhaustive sweep shape: every
+//! k-subset of one layer's neurons as a crash family, evaluated over one
+//! shared input set. Per-plan `output_error_batch` pays a full nominal +
+//! full faulty pass per subset; the suffix engine pays one nominal pass
+//! for the whole family and resumes each subset's faulty pass at the
+//! swept layer — on a deep net with the sweep in the last layer, that
+//! skips (L−1)/L of every faulty pass, a flops-eliminated win that does
+//! not depend on SIMD headroom (unlike the GEMM batching gains, which
+//! this host's FMA ceiling caps).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_inject::exhaustive::{exhaustive_crash_sweep, Combinations};
+use neurofail_inject::{CompiledPlan, InjectionPlan, MultiPlanEvaluator};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_tensor::init::Init;
+use neurofail_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An L-layer net (L ≥ 4): deep enough that a last-layer sweep's suffix is
+/// a small fraction of the full pass.
+fn deep_net(depth: usize, width: usize) -> Mlp {
+    let mut b = MlpBuilder::new(8);
+    for _ in 0..depth {
+        b = b.dense(width, Activation::Sigmoid { k: 1.0 });
+    }
+    b.init(Init::Xavier).build(&mut SmallRng::seed_from_u64(9))
+}
+
+fn inputs(batch: usize, d: usize) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(10);
+    Matrix::from_fn(batch, d, |_, _| rng.gen_range(0.0..=1.0))
+}
+
+/// Every k=2 subset of `layer` as a compiled crash plan.
+fn subset_family(net: &Mlp, layer: usize) -> Vec<CompiledPlan> {
+    Combinations::new(net.widths()[layer], 2)
+        .map(|subset| {
+            let plan = InjectionPlan::crash(subset.iter().map(|&n| (layer, n)));
+            CompiledPlan::compile(&plan, net, 1.0).expect("valid subset")
+        })
+        .collect()
+}
+
+/// The acceptance comparison: a layer-(L−1) exhaustive family on an
+/// L = 6 net, per-plan batched eval versus the shared-checkpoint suffix
+/// engine (both over precompiled plans, so the delta is pure evaluation).
+fn bench_multi_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_plan_eval");
+    group.sample_size(10);
+    for &(depth, width, batch) in &[(6usize, 24usize, 16usize), (4, 32, 32)] {
+        let net = deep_net(depth, width);
+        let xs = inputs(batch, 8);
+        let last = depth - 1;
+        let plans = subset_family(&net, last);
+        let label = format!("L{depth}w{width}b{batch}x{}plans", plans.len());
+        group.bench_function(BenchmarkId::new("per_plan", &label), |b| {
+            let mut ws = BatchWorkspace::for_net(&net, batch);
+            b.iter(|| {
+                let mut worst = 0.0f64;
+                for plan in &plans {
+                    for err in plan.output_error_batch(&net, black_box(&xs), &mut ws) {
+                        worst = worst.max(err);
+                    }
+                }
+                worst
+            })
+        });
+        group.bench_function(BenchmarkId::new("suffix_engine", &label), |b| {
+            b.iter(|| {
+                let mut eval = MultiPlanEvaluator::new(&net, black_box(&xs));
+                let mut worst = 0.0f64;
+                for plan in &plans {
+                    for err in eval.output_error(plan) {
+                        worst = worst.max(err);
+                    }
+                }
+                worst
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The engine's limit case: output-synapse-only plans resume at the output
+/// dot product — O(B · N_L) per plan instead of a full pass.
+fn bench_output_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_plan_eval_output_only");
+    group.sample_size(10);
+    let net = deep_net(6, 24);
+    let xs = inputs(16, 8);
+    let plans: Vec<CompiledPlan> = (0..net.widths()[5])
+        .map(|from| {
+            let plan = InjectionPlan {
+                neurons: vec![],
+                synapses: vec![neurofail_inject::plan::SynapseSite {
+                    target: neurofail_inject::plan::SynapseTarget::Output { from },
+                    fault: neurofail_inject::plan::SynapseFault::Crash,
+                }],
+            };
+            CompiledPlan::compile(&plan, &net, 1.0).unwrap()
+        })
+        .collect();
+    group.bench_function("per_plan", |b| {
+        let mut ws = BatchWorkspace::for_net(&net, 16);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for plan in &plans {
+                acc += plan.output_error_batch(&net, black_box(&xs), &mut ws)[0];
+            }
+            acc
+        })
+    });
+    group.bench_function("suffix_engine", |b| {
+        b.iter(|| {
+            let mut eval = MultiPlanEvaluator::new(&net, black_box(&xs));
+            let mut acc = 0.0f64;
+            for plan in &plans {
+                acc += eval.output_error(plan)[0];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end: the exhaustive sweep API (compiles subsets inside) — the
+/// call sites E14 and `fep_compute` actually hit.
+fn bench_sweep_api(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_sweep");
+    group.sample_size(10);
+    let net = deep_net(5, 16);
+    let pts: Vec<Vec<f64>> = (0..8)
+        .map(|i| (0..8).map(|j| ((i * 8 + j) as f64) / 64.0).collect())
+        .collect();
+    group.bench_function("layer4_k2_shared_checkpoint", |b| {
+        b.iter(|| exhaustive_crash_sweep(black_box(&net), 4, &[2], &pts, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_plan,
+    bench_output_only,
+    bench_sweep_api
+);
+criterion_main!(benches);

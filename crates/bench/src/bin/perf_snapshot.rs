@@ -1,0 +1,278 @@
+//! Machine-readable performance snapshot: one JSON file
+//! (`BENCH_PR4.json`) covering the workspace's four engine hot paths —
+//! campaign evaluation, training epochs, serve throughput and multi-plan
+//! evaluation — so the perf trajectory is tracked across PRs by diffable
+//! numbers rather than prose.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p neurofail-bench --bin perf_snapshot            # full sizes
+//! cargo run --release -p neurofail-bench --bin perf_snapshot -- --smoke # CI smoke mode
+//! cargo run --release -p neurofail-bench --bin perf_snapshot -- --out path.json
+//! ```
+//!
+//! Smoke mode shrinks every workload so the binary doubles as a CI check
+//! that all four engines still run end to end; the emitted JSON carries
+//! the mode so trajectories only compare like with like.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use neurofail_data::dataset::Dataset;
+use neurofail_data::rng::rng;
+use neurofail_inject::exhaustive::Combinations;
+use neurofail_inject::{
+    run_campaign, CampaignConfig, CompiledPlan, FaultSpec, InjectionPlan, MultiPlanEvaluator,
+    PlanRegistry, TrialKind,
+};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::builder::MlpBuilder;
+use neurofail_nn::train::{train, TrainConfig};
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_par::Parallelism;
+use neurofail_serve::{CertServer, ServeConfig};
+use neurofail_tensor::init::Init;
+use neurofail_tensor::Matrix;
+use serde::Serialize;
+
+/// One measured metric.
+#[derive(Debug, Serialize)]
+struct Metric {
+    /// Stable metric name (the key trajectories are joined on).
+    name: String,
+    /// Human-readable workload description.
+    workload: String,
+    /// Best-of-repetitions wall time in seconds.
+    seconds: f64,
+    /// Workload-specific unit count (evaluations, rows, queries, plans).
+    units: u64,
+    /// `units / seconds`.
+    throughput: f64,
+}
+
+/// The emitted snapshot.
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    /// Snapshot schema tag (the PR that introduced this file).
+    schema: String,
+    /// `"full"` or `"smoke"`.
+    mode: String,
+    /// Measured metrics.
+    metrics: Vec<Metric>,
+}
+
+/// Best-of-`reps` wall time of `f`, with the result sunk so the work is
+/// not optimised away.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(r);
+    }
+    best
+}
+
+fn deep_net(depth: usize, width: usize, inputs: usize, seed: u64) -> Mlp {
+    let mut b = MlpBuilder::new(inputs);
+    for _ in 0..depth {
+        b = b.dense(width, Activation::Sigmoid { k: 1.0 });
+    }
+    b.init(Init::Xavier).build(&mut rng(seed))
+}
+
+fn campaign_metric(smoke: bool, reps: usize) -> Metric {
+    let (trials, inputs_per_trial) = if smoke { (8, 8) } else { (64, 32) };
+    let net = deep_net(3, 64, 8, 0xCA);
+    let cfg = CampaignConfig {
+        trials,
+        inputs_per_trial,
+        ..CampaignConfig::default()
+    };
+    let seconds = best_of(reps, || {
+        run_campaign(
+            &net,
+            &[2, 1, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        )
+    });
+    let units = (trials * inputs_per_trial) as u64;
+    Metric {
+        name: "campaign_eval".into(),
+        workload: format!("L3 w64 crash campaign, {trials} trials x {inputs_per_trial} inputs"),
+        seconds,
+        units,
+        throughput: units as f64 / seconds,
+    }
+}
+
+fn train_metric(smoke: bool, reps: usize) -> Metric {
+    let (width, examples, epochs) = if smoke { (16, 64, 2) } else { (64, 256, 10) };
+    let target = neurofail_data::functions::Ridge::canonical(2);
+    let mut r = rng(0x7A);
+    let data = Dataset::sample(&target, examples, &mut r);
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    let seconds = best_of(reps, || {
+        let mut net = MlpBuilder::new(2)
+            .dense(width, Activation::Sigmoid { k: 1.0 })
+            .dense(width / 2, Activation::Sigmoid { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut rng(0x7B));
+        train(&mut net, &data, &cfg, &mut rng(0x7C));
+        net
+    }) / epochs as f64;
+    Metric {
+        name: "train_epoch".into(),
+        workload: format!("w{width} net, {examples} examples, batched engine, per epoch"),
+        seconds,
+        units: examples as u64,
+        throughput: examples as f64 / seconds,
+    }
+}
+
+fn serve_metric(smoke: bool, reps: usize) -> Metric {
+    let queries_per_client = if smoke { 16 } else { 256 };
+    let clients = if smoke { 4 } else { 16 };
+    let net = Arc::new(deep_net(4, 32, 4, 0x5E));
+    let mut registry = PlanRegistry::new();
+    for l in 0..4 {
+        registry
+            .register(Arc::clone(&net), &InjectionPlan::crash([(l, 1)]), 1.0)
+            .unwrap();
+    }
+    let units = (clients * queries_per_client) as u64;
+    let seconds = best_of(reps, || {
+        let server = CertServer::start(
+            &registry,
+            ServeConfig {
+                coalesce_plans: true,
+                ..ServeConfig::default()
+            },
+        );
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let server = &server;
+                s.spawn(move || {
+                    for q in 0..queries_per_client {
+                        let x = [
+                            (c as f64 + 0.5) / clients as f64,
+                            (q as f64 + 0.5) / queries_per_client as f64,
+                            0.25,
+                            0.75,
+                        ];
+                        server
+                            .query(neurofail_inject::PlanId(q % 4), &x)
+                            .expect("valid query");
+                    }
+                });
+            }
+        });
+        server.shutdown()
+    });
+    Metric {
+        name: "serve_throughput".into(),
+        workload: format!(
+            "L4 w32 net, 4 coalesced plans, {clients} clients x {queries_per_client} queries"
+        ),
+        seconds,
+        units,
+        throughput: units as f64 / seconds,
+    }
+}
+
+fn multi_plan_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
+    let (depth, width, batch) = if smoke { (4, 10, 8) } else { (6, 24, 16) };
+    let net = deep_net(depth, width, 8, 0x3F);
+    let xs = {
+        let mut r = rng(0x40);
+        Matrix::from_fn(batch, 8, |_, _| rand::Rng::gen_range(&mut r, 0.0..=1.0))
+    };
+    let last = depth - 1;
+    let plans: Vec<CompiledPlan> = Combinations::new(width, 2)
+        .map(|subset| {
+            let plan = InjectionPlan::crash(subset.iter().map(|&n| (last, n)));
+            CompiledPlan::compile(&plan, &net, 1.0).expect("valid subset")
+        })
+        .collect();
+    let units = (plans.len() * batch) as u64;
+    let workload = format!(
+        "L{depth} w{width} layer-{last} k=2 family ({} plans) x {batch} inputs",
+        plans.len()
+    );
+    let per_plan = best_of(reps, || {
+        let mut ws = BatchWorkspace::for_net(&net, batch);
+        let mut worst = 0.0f64;
+        for plan in &plans {
+            for err in plan.output_error_batch(&net, &xs, &mut ws) {
+                worst = worst.max(err);
+            }
+        }
+        worst
+    });
+    let suffix = best_of(reps, || {
+        let mut eval = MultiPlanEvaluator::new(&net, &xs);
+        let mut worst = 0.0f64;
+        for plan in &plans {
+            for err in eval.output_error(plan) {
+                worst = worst.max(err);
+            }
+        }
+        worst
+    });
+    vec![
+        Metric {
+            name: "multi_plan_eval_per_plan".into(),
+            workload: workload.clone(),
+            seconds: per_plan,
+            units,
+            throughput: units as f64 / per_plan,
+        },
+        Metric {
+            name: "multi_plan_eval_suffix".into(),
+            workload,
+            seconds: suffix,
+            units,
+            throughput: units as f64 / suffix,
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let reps = if smoke { 1 } else { 3 };
+
+    let mut metrics = vec![
+        campaign_metric(smoke, reps),
+        train_metric(smoke, reps),
+        serve_metric(smoke, reps),
+    ];
+    metrics.extend(multi_plan_metrics(smoke, reps));
+
+    let snapshot = Snapshot {
+        schema: "neurofail-perf/PR4".into(),
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        metrics,
+    };
+    let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
+    std::fs::write(&out, &json).expect("snapshot written");
+    for m in &snapshot.metrics {
+        println!(
+            "{:<28} {:>12.6}s  {:>12.0} units/s  ({})",
+            m.name, m.seconds, m.throughput, m.workload
+        );
+    }
+    println!("wrote {out} ({} mode)", snapshot.mode);
+}

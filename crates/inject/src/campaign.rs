@@ -44,6 +44,12 @@ impl Default for CampaignConfig {
 }
 
 /// Worst single observation of a campaign.
+///
+/// Carries everything needed to re-derive the observation **standalone**:
+/// `plan` + `input` replay the evaluation directly (bitwise, as a
+/// singleton batch), while `trial` + `seed` re-derive the plan and the
+/// whole input stream of the offending trial from scratch — without
+/// rerunning the campaign (see `replaying_a_worst_case_from_its_seed`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorstCase {
     /// The disturbance `|F_neu − F_fail|`.
@@ -52,6 +58,13 @@ pub struct WorstCase {
     pub input: Vec<f64>,
     /// The plan achieving it.
     pub plan: InjectionPlan,
+    /// 0-based index of the trial that produced it.
+    pub trial: usize,
+    /// The trial's derived seed (`SeedSequence::new(cfg.seed).seed_for
+    /// (trial)`): seeding a fresh RNG with it and re-running the trial's
+    /// draw sequence — plan first, then inputs in row order — regenerates
+    /// `plan` and `input` exactly.
+    pub seed: u64,
 }
 
 /// Aggregated campaign outcome.
@@ -92,10 +105,11 @@ const MAX_EVAL_BATCH: usize = 1024;
 
 /// Run a campaign: `cfg.trials` random plans with the given per-layer
 /// `counts`, each compiled once and evaluated over its whole
-/// `cfg.inputs_per_trial` input set in batched calls
-/// ([`CompiledPlan::output_error_batch`]; one call when the input set fits
-/// `MAX_EVAL_BATCH`) — the compile-once / run-many shape the batched
-/// engine exists for.
+/// `cfg.inputs_per_trial` input set in batched suffix-engine calls
+/// ([`CompiledPlan::output_error_resumed`] — one nominal pass per chunk,
+/// shared by the plan's faulty pass, which resumes at the plan's first
+/// faulty layer; one call when the input set fits `MAX_EVAL_BATCH`) — the
+/// compile-once / run-many shape the batched engine exists for.
 ///
 /// `counts` has `L` entries for [`TrialKind::Neurons`] and `L + 1` for
 /// [`TrialKind::Synapses`].
@@ -104,7 +118,8 @@ const MAX_EVAL_BATCH: usize = 1024;
 /// batch in row order) is unchanged from the scalar engine, and batched
 /// row results are bitwise independent of batching — so campaign results
 /// are identical for every `Parallelism` policy, and any reported worst
-/// case replays exactly through a singleton batch.
+/// case replays exactly through a singleton batch (or re-derives from its
+/// recorded [`WorstCase::seed`]).
 ///
 /// # Panics
 /// On count/shape mismatches (see the samplers).
@@ -118,7 +133,8 @@ pub fn run_campaign(
     let seeds = SeedSequence::new(cfg.seed);
     let d = net.input_dim();
     let per_trial: Vec<(OnlineStats, Option<WorstCase>)> = parallel_map(policy, cfg.trials, |t| {
-        let mut rng = det_rng(seeds.seed_for(t as u64));
+        let trial_seed = seeds.seed_for(t as u64);
+        let mut rng = det_rng(trial_seed);
         let plan = match kind {
             TrialKind::Neurons(spec) => sample_neuron_plan(net, counts, spec, &mut rng),
             TrialKind::Synapses { byzantine } => {
@@ -133,8 +149,15 @@ pub fn run_campaign(
         // O(MAX_EVAL_BATCH · d + Σ N_l) no matter how large the trial is.
         // Drawing and evaluation never interleave on the RNG, and rows are
         // bitwise independent of the batch they ride in, so chunking never
-        // changes a result.
-        let mut ws = BatchWorkspace::for_net(net, cfg.inputs_per_trial.min(MAX_EVAL_BATCH));
+        // changes a result. Each chunk runs through the suffix engine:
+        // its nominal pass is computed once (shared by the plan's faulty
+        // suffix, which resumes at the plan's first faulty layer), so the
+        // faulty pass never recomputes the unfaulted prefix — bitwise
+        // identical to `output_error_batch` at fewer flops, and the RNG
+        // draw order is untouched.
+        let chunk_rows = cfg.inputs_per_trial.min(MAX_EVAL_BATCH);
+        let mut ws_nominal = BatchWorkspace::for_net(net, chunk_rows);
+        let mut ws_scratch = BatchWorkspace::for_net(net, chunk_rows);
         let mut stats = OnlineStats::new();
         let mut worst: Option<WorstCase> = None;
         let mut remaining = cfg.inputs_per_trial;
@@ -144,7 +167,8 @@ pub fn run_campaign(
             for xi in chunk.data_mut() {
                 *xi = rand::Rng::gen_range(&mut rng, 0.0..=1.0);
             }
-            let errors = compiled.output_error_batch(net, &chunk, &mut ws);
+            let errors =
+                compiled.output_error_resumed(net, &chunk, &mut ws_nominal, &mut ws_scratch);
             for (b, &err) in errors.iter().enumerate() {
                 stats.push(err);
                 if worst.as_ref().map(|w| err > w.error).unwrap_or(true) {
@@ -152,6 +176,8 @@ pub fn run_campaign(
                         error: err,
                         input: chunk.row(b).to_vec(),
                         plan: plan.clone(),
+                        trial: t,
+                        seed: trial_seed,
                     });
                 }
             }
@@ -320,6 +346,52 @@ mod tests {
         let mut ws = neurofail_nn::BatchWorkspace::for_net(&net, 1);
         let replay = compiled.output_error_batch(&net, &single, &mut ws);
         assert_eq!(replay[0], worst.error);
+    }
+
+    #[test]
+    fn replaying_a_worst_case_from_its_seed_rederives_plan_and_input() {
+        // The standalone-replay contract of WorstCase::{trial, seed}: with
+        // only the campaign *config knowledge* (net, counts, kind,
+        // capacity) and the recorded seed, re-running the single trial's
+        // draw sequence regenerates the reported plan and input exactly,
+        // and the reported error replays bitwise — no campaign rerun.
+        let net = net();
+        let cfg = CampaignConfig {
+            trials: 16,
+            inputs_per_trial: 12,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(
+            &net,
+            &[2, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Threads(3),
+        );
+        let worst = res.worst.expect("faults were injected");
+        // The recorded seed is the trial's derived seed.
+        assert_eq!(
+            worst.seed,
+            SeedSequence::new(cfg.seed).seed_for(worst.trial as u64)
+        );
+        // Re-derive: plan first, then inputs in row-major stream order.
+        let mut rng = det_rng(worst.seed);
+        let plan = sample_neuron_plan(&net, &[2, 1], FaultSpec::Crash, &mut rng);
+        assert_eq!(plan, worst.plan, "plan re-derivation diverged");
+        let d = net.input_dim();
+        let mut inputs = Matrix::zeros(cfg.inputs_per_trial, d);
+        for xi in inputs.data_mut() {
+            *xi = rand::Rng::gen_range(&mut rng, 0.0..=1.0);
+        }
+        let row = (0..cfg.inputs_per_trial)
+            .find(|&r| inputs.row(r) == worst.input.as_slice())
+            .expect("worst input must appear in the re-drawn stream");
+        // And the value replays bitwise as a singleton batch.
+        let compiled = CompiledPlan::compile(&plan, &net, cfg.capacity).unwrap();
+        let single = Matrix::from_vec(1, d, inputs.row(row).to_vec());
+        let mut ws = BatchWorkspace::for_net(&net, 1);
+        let replay = compiled.output_error_batch(&net, &single, &mut ws);
+        assert_eq!(replay[0].to_bits(), worst.error.to_bits());
     }
 
     #[test]

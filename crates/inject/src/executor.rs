@@ -193,9 +193,16 @@ impl CompiledPlan {
     }
 
     /// Batched `|F_neu(x_b) − F_fail(x_b)|`: one nominal batched pass plus
-    /// one faulty batched pass over the plan's whole input set — the
-    /// campaign/exhaustive/search hot loop, and (as singleton rows) the
-    /// reference the serving engine's bitwise contract is stated against.
+    /// one **full** faulty batched pass over the plan's whole input set —
+    /// the suffix engine's reference implementation. The hot loops
+    /// (campaigns, exhaustive sweeps, serve flushes) now route through
+    /// [`CompiledPlan::output_error_resumed`] / [`crate::multi`], which
+    /// skip the faulty pass's unfaulted prefix and are **bitwise** equal
+    /// to this call; this two-full-passes form remains the contract both
+    /// are stated against (and what the adversarial input search, whose
+    /// candidate inputs change every step, still uses directly). As
+    /// singleton rows it is also the reference for the serving engine's
+    /// bitwise contract.
     ///
     /// # Example
     /// ```
@@ -226,6 +233,106 @@ impl CompiledPlan {
     pub fn output_error_batch(&self, net: &Mlp, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
         let mut errors = net.forward_batch(xs, ws);
         let faulty = self.run_batch(net, xs, ws);
+        for (e, f) in errors.iter_mut().zip(&faulty) {
+            *e = (*e - f).abs();
+        }
+        errors
+    }
+
+    /// The earliest forward-pass stage this plan interposes on, as the
+    /// layer a resumed faulty pass must restart from:
+    ///
+    /// * `l` — the plan faults layer `l`'s pre-activation sums (a hidden
+    ///   synapse into `l`) or post-activation outputs (a neuron of `l`),
+    ///   whichever site is earliest;
+    /// * `depth` (= number of per-layer site tables) — the plan touches
+    ///   only output synapses, or nothing at all: every hidden layer of a
+    ///   faulty pass is bitwise nominal and only the output dot product
+    ///   differs.
+    ///
+    /// Layers `< first_faulty_layer()` of a faulty pass recompute exactly
+    /// the nominal values, which is what lets the suffix engine replace
+    /// them with a shared checkpoint (see [`crate::multi`]).
+    pub fn first_faulty_layer(&self) -> usize {
+        self.neuron_sites
+            .iter()
+            .zip(&self.synapse_sites)
+            .position(|(n, s)| !n.is_empty() || !s.is_empty())
+            .unwrap_or(self.neuron_sites.len())
+    }
+
+    /// Run the faulty pass as a **suffix resume**: `resume_input` holds
+    /// the nominal layer-`from_layer − 1` activations (see
+    /// [`Mlp::resume_batch_from`]), and only layers `from_layer..L` plus
+    /// the output combination are recomputed under this plan's taps.
+    ///
+    /// Bitwise identical to [`CompiledPlan::run_batch`] over the inputs
+    /// that produced the checkpoint whenever
+    /// `from_layer <= self.first_faulty_layer()` — the skipped prefix of
+    /// the full faulty pass recomputes nominal values exactly.
+    ///
+    /// # Panics
+    /// If the plan's depth does not match `net`'s (the plan must have been
+    /// compiled against this network).
+    pub fn resume_batch_from(
+        &self,
+        net: &Mlp,
+        resume_input: &Matrix,
+        ws: &mut BatchWorkspace,
+        from_layer: usize,
+    ) -> Vec<f64> {
+        assert_eq!(
+            self.neuron_sites.len(),
+            net.depth(),
+            "resume_batch_from: plan/network depth mismatch"
+        );
+        let mut tap = BatchInjectorTap { plan: self };
+        net.resume_batch_from(resume_input, ws, &mut tap, from_layer)
+    }
+
+    /// [`CompiledPlan::resume_batch_from`] with the resume input borrowed
+    /// from a nominal checkpoint over `xs` (see
+    /// [`Mlp::resume_batch_tapped`], which validates the checkpoint's
+    /// shape and selects the layer-`from_layer − 1` tap) — the one place
+    /// the checkpoint-source selection lives, shared by the single-plan
+    /// path and the multi-plan evaluator.
+    pub fn resume_batch_checkpointed(
+        &self,
+        net: &Mlp,
+        xs: &Matrix,
+        ws_nominal: &BatchWorkspace,
+        ws_scratch: &mut BatchWorkspace,
+        from_layer: usize,
+    ) -> Vec<f64> {
+        assert_eq!(
+            self.neuron_sites.len(),
+            net.depth(),
+            "resume_batch_checkpointed: plan/network depth mismatch"
+        );
+        let mut tap = BatchInjectorTap { plan: self };
+        net.resume_batch_tapped(xs, ws_nominal, ws_scratch, &mut tap, from_layer)
+    }
+
+    /// Suffix-engine `|F_neu(x_b) − F_fail(x_b)|`: one nominal pass into
+    /// `ws_nominal` (the checkpoint), then a faulty pass that resumes at
+    /// [`CompiledPlan::first_faulty_layer`] into `ws_scratch`, skipping
+    /// the unfaulted prefix entirely.
+    ///
+    /// **Bitwise** equal to [`CompiledPlan::output_error_batch`] for every
+    /// plan, batch size and input set (property-tested in
+    /// `tests/suffix_equivalence.rs`); the saving is the faulty pass's
+    /// prefix — `first_faulty_layer / depth` of its layer work, all of it
+    /// for output-synapse-only plans.
+    pub fn output_error_resumed(
+        &self,
+        net: &Mlp,
+        xs: &Matrix,
+        ws_nominal: &mut BatchWorkspace,
+        ws_scratch: &mut BatchWorkspace,
+    ) -> Vec<f64> {
+        let mut errors = net.forward_batch(xs, ws_nominal);
+        let from = self.first_faulty_layer();
+        let faulty = self.resume_batch_checkpointed(net, xs, ws_nominal, ws_scratch, from);
         for (e, f) in errors.iter_mut().zip(&faulty) {
             *e = (*e - f).abs();
         }

@@ -8,10 +8,11 @@
 //! explosion". This module implements that alternative (within a budget) so
 //! experiment E14 can *measure* the explosion against the O(L) bound.
 
-use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_nn::Mlp;
 use neurofail_tensor::Matrix;
 
 use crate::executor::CompiledPlan;
+use crate::multi::MultiPlanEvaluator;
 use crate::plan::InjectionPlan;
 
 /// Iterator over all `k`-subsets of `0..n` in lexicographic order.
@@ -88,8 +89,12 @@ pub struct ExhaustiveResult {
 
 /// Evaluate **every** `k`-subset of layer `layer`'s neurons as a crash set,
 /// over the given inputs, and return the worst disturbance. The input set
-/// is staged into one batch matrix and each compiled subset plan is
-/// evaluated over it in a single batched call, but the count remains
+/// is staged into one batch matrix and evaluated through the multi-plan
+/// suffix engine ([`MultiPlanEvaluator`]): one nominal pass for the whole
+/// sweep, then per subset a faulty pass **resumed at `layer`** — layers
+/// `0..layer` are never recomputed, so a layer-ℓ sweep on an L-layer net
+/// skips ℓ/L of each subset's layer work (single-layer subsets are the
+/// suffix engine's best case). The count remains
 /// `C(N_layer, k) × inputs.len()` evaluations — the explosion itself, now
 /// priced at the engine's best per-evaluation rate.
 ///
@@ -102,34 +107,52 @@ pub fn exhaustive_crash_search(
     inputs: &[Vec<f64>],
     capacity: f64,
 ) -> ExhaustiveResult {
-    let widths = net.widths();
-    assert!(layer < widths.len(), "layer {layer} out of range");
-    assert!(
-        k <= widths[layer],
-        "k = {k} exceeds layer width {}",
-        widths[layer]
-    );
+    let xs = stage_inputs(net, layer, &[k], inputs);
+    let mut eval = MultiPlanEvaluator::new(net, &xs);
+    sweep_one_k(net, &mut eval, layer, k, capacity)
+}
+
+/// Copy `inputs` into one batch matrix, validating every argument up
+/// front — before the nominal checkpoint pass runs — so malformed sweeps
+/// fail fast (shared by the single-k search and the multi-k sweep).
+fn stage_inputs(net: &Mlp, layer: usize, ks: &[usize], inputs: &[Vec<f64>]) -> Matrix {
+    assert!(layer < net.depth(), "layer {layer} out of range");
+    let width = net.widths()[layer];
+    for &k in ks {
+        assert!(k <= width, "k = {k} exceeds layer width {width}");
+    }
     let d = net.input_dim();
     let mut xs = Matrix::zeros(inputs.len(), d);
     for (row, x) in inputs.iter().enumerate() {
         assert_eq!(x.len(), d, "input {row}: dimension mismatch");
         xs.row_mut(row).copy_from_slice(x);
     }
-    let mut ws = BatchWorkspace::for_net(net, inputs.len());
-    // The nominal outputs are plan-independent: compute them once and diff
-    // every subset's faulty pass against them (bitwise identical to
-    // per-subset `output_error_batch`, at half the forward passes).
-    let nominal = net.forward_batch(&xs, &mut ws);
+    xs
+}
+
+/// Evaluate every `k`-subset of `layer` through the shared checkpoint in
+/// `eval`, tracking the lexicographically-first worst subset — the single
+/// loop body behind [`exhaustive_crash_search`] and
+/// [`exhaustive_crash_sweep`], so worst-case tie-breaking, evaluation
+/// counting and plan construction cannot diverge between them.
+fn sweep_one_k(
+    net: &Mlp,
+    eval: &mut MultiPlanEvaluator<'_>,
+    layer: usize,
+    k: usize,
+    capacity: f64,
+) -> ExhaustiveResult {
+    let width = net.widths()[layer];
+    assert!(k <= width, "k = {k} exceeds layer width {width}");
     let mut worst_error = 0.0f64;
     let mut worst_subset = Vec::new();
     let mut evaluations = 0u64;
-    for subset in Combinations::new(widths[layer], k) {
+    for subset in Combinations::new(width, k) {
         let plan = InjectionPlan::crash(subset.iter().map(|&n| (layer, n)));
         let compiled = CompiledPlan::compile(&plan, net, capacity).expect("valid subset");
-        let faulty = compiled.run_batch(net, &xs, &mut ws);
-        evaluations += faulty.len() as u64;
-        for (&nom, &fail) in nominal.iter().zip(&faulty) {
-            let err = (nom - fail).abs();
+        let errors = eval.output_error(&compiled);
+        evaluations += errors.len() as u64;
+        for &err in &errors {
             if err > worst_error {
                 worst_error = err;
                 worst_subset = subset.clone();
@@ -141,6 +164,29 @@ pub fn exhaustive_crash_search(
         worst_subset,
         evaluations,
     }
+}
+
+/// Sweep several subset sizes `ks` of one layer over one input set,
+/// sharing a **single** nominal checkpoint across the entire sweep: every
+/// subset of every `k` is one resumed suffix (the multi-plan engine's
+/// plan-family shape). Results are element-wise identical to calling
+/// [`exhaustive_crash_search`] once per `k` — the sweep only hoists the
+/// per-call nominal pass.
+///
+/// # Panics
+/// As [`exhaustive_crash_search`].
+pub fn exhaustive_crash_sweep(
+    net: &Mlp,
+    layer: usize,
+    ks: &[usize],
+    inputs: &[Vec<f64>],
+    capacity: f64,
+) -> Vec<ExhaustiveResult> {
+    let xs = stage_inputs(net, layer, ks, inputs);
+    let mut eval = MultiPlanEvaluator::new(net, &xs);
+    ks.iter()
+        .map(|&k| sweep_one_k(net, &mut eval, layer, k, capacity))
+        .collect()
 }
 
 #[cfg(test)]
@@ -193,6 +239,116 @@ mod tests {
         assert_eq!(binomial(10, 3), 120);
         assert_eq!(binomial(50, 25), 126_410_606_437_752);
         assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn k_zero_sweep_is_the_empty_subset_with_zero_disturbance() {
+        // C(n, 0) = 1: the sweep evaluates exactly the fault-free plan,
+        // whose resumed pass is bitwise the nominal pass — disturbance is
+        // exactly 0.0, not merely small.
+        let net = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::identity(3),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![0.1, 0.9, 0.5],
+            0.0,
+        );
+        let inputs = vec![vec![1.0, 1.0, 1.0], vec![0.3, -0.2, 0.7]];
+        let res = exhaustive_crash_search(&net, 0, 0, &inputs, 1.0);
+        assert_eq!(res.worst_error, 0.0);
+        assert_eq!(res.worst_subset, Vec::<usize>::new());
+        assert_eq!(res.evaluations, 2); // 1 subset × 2 inputs
+    }
+
+    #[test]
+    fn k_equal_width_crashes_the_whole_layer() {
+        // C(n, n) = 1: the single subset kills every neuron; with a
+        // single identity layer the output collapses to exactly 0, so the
+        // disturbance equals |F_neu|.
+        let net = Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::identity(3),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![0.1, 0.9, 0.5],
+            0.0,
+        );
+        let inputs = vec![vec![1.0, 1.0, 1.0]];
+        let res = exhaustive_crash_search(&net, 0, 3, &inputs, 1.0);
+        assert_eq!(res.worst_subset, vec![0, 1, 2]);
+        assert!((res.worst_error - 1.5).abs() < 1e-12); // 0.1 + 0.9 + 0.5
+        assert_eq!(res.evaluations, 1);
+    }
+
+    #[test]
+    fn last_layer_sweep_on_a_deep_net_matches_per_plan_evaluation() {
+        // The suffix engine's best case — a layer-(L−1) sweep resumes at
+        // the last layer — must stay bit-identical to the pre-refactor
+        // cost model (nominal pass + full faulty pass per subset).
+        use neurofail_data::rng::rng;
+        use neurofail_nn::builder::MlpBuilder;
+        use neurofail_nn::BatchWorkspace;
+        use neurofail_tensor::init::Init;
+        let net = MlpBuilder::new(2)
+            .dense(6, Activation::Sigmoid { k: 1.0 })
+            .dense(5, Activation::Tanh { k: 0.9 })
+            .dense(4, Activation::Sigmoid { k: 1.1 })
+            .init(Init::Xavier)
+            .build(&mut rng(17));
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![0.13 * i as f64, 0.4 - 0.07 * i as f64])
+            .collect();
+        let layer = net.depth() - 1;
+        let res = exhaustive_crash_search(&net, layer, 2, &inputs, 1.0);
+        // Reference: the per-plan two-full-passes engine.
+        let mut xs = Matrix::zeros(inputs.len(), 2);
+        for (r, x) in inputs.iter().enumerate() {
+            xs.row_mut(r).copy_from_slice(x);
+        }
+        let mut ws = BatchWorkspace::default();
+        let mut worst = 0.0f64;
+        let mut worst_subset = Vec::new();
+        for subset in Combinations::new(net.widths()[layer], 2) {
+            let plan = InjectionPlan::crash(subset.iter().map(|&n| (layer, n)));
+            let compiled = CompiledPlan::compile(&plan, &net, 1.0).unwrap();
+            for &err in &compiled.output_error_batch(&net, &xs, &mut ws) {
+                if err > worst {
+                    worst = err;
+                    worst_subset = subset.clone();
+                }
+            }
+        }
+        assert_eq!(res.worst_error.to_bits(), worst.to_bits());
+        assert_eq!(res.worst_subset, worst_subset);
+        assert_eq!(res.evaluations, 30); // C(4,2) = 6 subsets × 5 inputs
+    }
+
+    #[test]
+    fn sweep_matches_per_k_searches_bitwise() {
+        use neurofail_data::rng::rng;
+        use neurofail_nn::builder::MlpBuilder;
+        use neurofail_tensor::init::Init;
+        let net = MlpBuilder::new(2)
+            .dense(5, Activation::Sigmoid { k: 1.0 })
+            .dense(4, Activation::Tanh { k: 1.0 })
+            .init(Init::Xavier)
+            .build(&mut rng(23));
+        let inputs: Vec<Vec<f64>> = (0..4).map(|i| vec![0.2 * i as f64, 0.3]).collect();
+        let ks = [0usize, 1, 2, 4];
+        let swept = exhaustive_crash_sweep(&net, 1, &ks, &inputs, 1.0);
+        for (&k, s) in ks.iter().zip(&swept) {
+            let single = exhaustive_crash_search(&net, 1, k, &inputs, 1.0);
+            assert_eq!(
+                s.worst_error.to_bits(),
+                single.worst_error.to_bits(),
+                "k={k}"
+            );
+            assert_eq!(s.worst_subset, single.worst_subset, "k={k}");
+            assert_eq!(s.evaluations, single.evaluations, "k={k}");
+        }
     }
 
     #[test]

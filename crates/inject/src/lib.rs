@@ -19,6 +19,10 @@
 //! * [`adversary`] / [`input_search`] — the tightness playbook: kill the
 //!   highest same-sign-weight neurons, then search the input cube for the
 //!   disturbance maximiser (Theorem 1's equality cases).
+//! * [`multi`] — the multi-plan **suffix engine**: one shared nominal pass
+//!   per input set, each plan's faulty pass resumed at its
+//!   [`CompiledPlan::first_faulty_layer`] — bitwise equal to per-plan
+//!   evaluation at a fraction of the flops.
 //! * [`registry`] — long-lived sets of `(network, compiled plan)` pairs
 //!   addressed by dense [`registry::PlanId`]s, the plan-sharding substrate
 //!   of the serving engine (`neurofail-serve`).
@@ -30,12 +34,14 @@ pub mod campaign;
 pub mod executor;
 pub mod exhaustive;
 pub mod input_search;
+pub mod multi;
 pub mod plan;
 pub mod registry;
 pub mod sampler;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
 pub use executor::{CompiledPlan, PlanError};
+pub use multi::{output_error_many, MultiPlanEvaluator};
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
 pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;

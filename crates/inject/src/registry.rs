@@ -86,6 +86,24 @@ impl RegisteredPlan {
     pub fn eval_batch(&self, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
         self.compiled.output_error_batch(&self.net, xs, ws)
     }
+
+    /// Batched disturbance through the suffix engine
+    /// ([`CompiledPlan::output_error_resumed`]): the nominal pass goes to
+    /// `ws_nominal` (the checkpoint) and the faulty pass resumes at the
+    /// plan's first faulty layer into `ws_scratch`. Bitwise equal to
+    /// [`eval_batch`](Self::eval_batch); this mirrors the serving
+    /// engine's flush-loop logic (which inlines the same nominal +
+    /// resume split so it can also serve multi-plan flushes) for callers
+    /// that batch against a single registered plan.
+    pub fn eval_batch_resumed(
+        &self,
+        xs: &Matrix,
+        ws_nominal: &mut BatchWorkspace,
+        ws_scratch: &mut BatchWorkspace,
+    ) -> Vec<f64> {
+        self.compiled
+            .output_error_resumed(&self.net, xs, ws_nominal, ws_scratch)
+    }
 }
 
 /// An append-only collection of compiled plans addressed by [`PlanId`].
@@ -147,6 +165,48 @@ impl PlanRegistry {
     /// handoff a sharded engine uses to move each plan onto its worker.
     pub fn into_entries(self) -> Vec<RegisteredPlan> {
         self.entries
+    }
+
+    /// Evaluate many registered plans over one shared input set through
+    /// the multi-plan suffix engine: plans are grouped by the network
+    /// they share (`Arc` identity), each group pays **one** nominal pass,
+    /// and every plan resumes its faulty pass at its own first faulty
+    /// layer. Returns one disturbance vector per id, aligned with `ids`
+    /// — each **bitwise** equal to the corresponding
+    /// [`RegisteredPlan::eval_batch`] call.
+    ///
+    /// This is the batch-side mirror of the serving engine's cross-plan
+    /// coalescing: the common registry shape (one net, a family of fault
+    /// hypotheses) collapses to a single nominal pass for the whole
+    /// family.
+    ///
+    /// # Panics
+    /// If any id is unregistered, or `xs` column count mismatches a
+    /// plan's network.
+    pub fn eval_many(&self, ids: &[PlanId], xs: &Matrix) -> Vec<Vec<f64>> {
+        let mut results: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
+        // Group positions by net identity, preserving first-seen order.
+        let mut groups: Vec<(&Arc<Mlp>, Vec<usize>)> = Vec::new();
+        for (pos, id) in ids.iter().enumerate() {
+            let entry = self
+                .get(*id)
+                .unwrap_or_else(|| panic!("eval_many: no registered {id}"));
+            match groups
+                .iter_mut()
+                .find(|(net, _)| Arc::ptr_eq(net, &entry.net))
+            {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((&entry.net, vec![pos])),
+            }
+        }
+        for (net, positions) in groups {
+            let mut eval = crate::multi::MultiPlanEvaluator::new(net, xs);
+            for pos in positions {
+                let entry = self.get(ids[pos]).expect("validated above");
+                results[pos] = eval.output_error(entry.compiled());
+            }
+        }
+        results
     }
 }
 
@@ -219,6 +279,60 @@ mod tests {
         let xs3 = Matrix::from_vec(3, 2, vec![0.5, 0.25, 0.0, 0.0, 1.0, -1.0]);
         let batch = entry.eval_batch(&xs3, &mut ws);
         assert_eq!(batch[0].to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn eval_many_matches_per_plan_eval_batch_bitwise() {
+        // Two nets, three plans (two sharing a net): eval_many must group
+        // by net identity and stay bitwise equal to per-plan evaluation.
+        let net_a = net();
+        let net_b = Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![0.5, -0.25, 1.0, 0.75]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![2.0, -1.0],
+            0.1,
+        ));
+        let mut reg = PlanRegistry::new();
+        let a0 = reg
+            .register(Arc::clone(&net_a), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        let b0 = reg
+            .register(Arc::clone(&net_b), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        let a1 = reg
+            .register(Arc::clone(&net_a), &InjectionPlan::none(), 1.0)
+            .unwrap();
+        let xs = Matrix::from_vec(3, 2, vec![0.5, 0.25, -0.4, 0.9, 0.0, 1.0]);
+        let many = reg.eval_many(&[a0, b0, a1], &xs);
+        let mut ws = BatchWorkspace::default();
+        for (id, got) in [a0, b0, a1].iter().zip(&many) {
+            let direct = reg.get(*id).unwrap().eval_batch(&xs, &mut ws);
+            assert_eq!(got.len(), 3);
+            for (g, d) in got.iter().zip(&direct) {
+                assert_eq!(g.to_bits(), d.to_bits(), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_resumed_matches_eval_batch_bitwise() {
+        let net = net();
+        let mut reg = PlanRegistry::new();
+        let id = reg
+            .register(Arc::clone(&net), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        let entry = reg.get(id).unwrap();
+        let xs = Matrix::from_vec(2, 2, vec![0.3, 0.6, -0.1, 0.8]);
+        let mut ws = BatchWorkspace::default();
+        let direct = entry.eval_batch(&xs, &mut ws);
+        let (mut wn, mut wsc) = (BatchWorkspace::default(), BatchWorkspace::default());
+        let resumed = entry.eval_batch_resumed(&xs, &mut wn, &mut wsc);
+        for (r, d) in resumed.iter().zip(&direct) {
+            assert_eq!(r.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

@@ -436,14 +436,72 @@ impl Mlp {
             self.input_dim(),
             "forward_batch: input dimension mismatch"
         );
-        if !ws.fits(self, xs.rows()) {
-            ws.reshape(self, xs.rows());
-        }
-        let batch = xs.rows();
+        self.resume_batch_from(xs, ws, tap, 0)
+    }
+
+    /// Resume a batched (tapped) pass at layer `from_layer`, reading the
+    /// layer-`from_layer − 1` activations from `resume_input` instead of
+    /// recomputing the prefix.
+    ///
+    /// This is the suffix half of the checkpoint/resume pipeline: a
+    /// [`BatchWorkspace`] filled by a **nominal** [`Mlp::forward_batch`]
+    /// is the checkpoint, and `resume_input` is its
+    /// `outs[from_layer − 1]` matrix (or the raw input batch for
+    /// `from_layer == 0`, which makes this identical to
+    /// [`Mlp::forward_batch_tapped`]). Layers `from_layer..L` are
+    /// recomputed into `ws` with `tap` interposing, then the output
+    /// combination runs as usual; for `from_layer == L` no layer is
+    /// recomputed and only the output dot product (plus the `output_sum`
+    /// tap) runs over `resume_input` — O(B · N_L) total.
+    ///
+    /// Bitwise contract: if `tap` leaves layers `< from_layer` untouched
+    /// (e.g. a fault plan whose first faulty layer is `≥ from_layer`),
+    /// the result is **bitwise identical** to a full
+    /// [`Mlp::forward_batch_tapped`] pass over the inputs that produced
+    /// the checkpoint, because unfaulted prefix layers recompute exactly
+    /// the nominal values with exactly the same kernels. Aliasing rule:
+    /// `resume_input` is typically borrowed from a *different* workspace
+    /// than `ws` (the borrow checker enforces they are distinct buffers);
+    /// the checkpoint workspace is only read, never written, so one
+    /// checkpoint serves any number of resumed suffixes.
+    ///
+    /// # Panics
+    /// If `from_layer > depth()` or `resume_input`'s column count does not
+    /// match layer `from_layer`'s input dimension (`input_dim()` for 0,
+    /// `N_L` for `depth()`).
+    pub fn resume_batch_from(
+        &self,
+        resume_input: &Matrix,
+        ws: &mut BatchWorkspace,
+        tap: &mut impl BatchTap,
+        from_layer: usize,
+    ) -> Vec<f64> {
         let nl = self.layers.len();
-        for l in 0..nl {
+        assert!(
+            from_layer <= nl,
+            "resume_batch_from: from_layer {from_layer} > depth {nl}"
+        );
+        let expected_cols = if from_layer == 0 {
+            self.input_dim()
+        } else {
+            self.layers[from_layer - 1].out_dim()
+        };
+        assert_eq!(
+            resume_input.cols(),
+            expected_cols,
+            "resume_batch_from: resume_input dimension mismatch at layer {from_layer}"
+        );
+        if !ws.fits(self, resume_input.rows()) {
+            ws.reshape(self, resume_input.rows());
+        }
+        let batch = resume_input.rows();
+        for l in from_layer..nl {
             let (prev_outs, rest_outs) = ws.outs.split_at_mut(l);
-            let input: &Matrix = if l == 0 { xs } else { &prev_outs[l - 1] };
+            let input: &Matrix = if l == from_layer {
+                resume_input
+            } else {
+                &prev_outs[l - 1]
+            };
             let sums = &mut ws.sums[l];
             let out = &mut rest_outs[0];
             match &self.layers[l] {
@@ -472,13 +530,63 @@ impl Mlp {
                 .apply_slice(sums.data(), out.data_mut());
             tap.post_activation(l, out);
         }
-        let last = &ws.outs[nl - 1];
+        let last: &Matrix = if from_layer == nl {
+            resume_input
+        } else {
+            &ws.outs[nl - 1]
+        };
         let mut y = vec![self.output_bias; batch];
         for (yb, row) in y.iter_mut().zip(last.rows_iter()) {
             *yb += ops::dot(&self.output_weights, row);
         }
         tap.output_sum(last, &mut y);
         y
+    }
+
+    /// The issue-shaped convenience over [`Mlp::resume_batch_from`]: given
+    /// the original input batch `xs` and the **nominal** checkpoint
+    /// workspace `ws_nominal` (filled by `forward_batch(xs, ws_nominal)`),
+    /// recompute only layers `from_layer..L` (plus the output combination)
+    /// into `ws_scratch` with `tap` interposing.
+    ///
+    /// The layer-`from_layer − 1` nominal tap is taken from the checkpoint
+    /// by reference — no copy — so a single checkpoint amortises across
+    /// arbitrarily many plans resumed at arbitrary suffix layers.
+    ///
+    /// # Panics
+    /// If the checkpoint was not shaped by a pass over `xs` through this
+    /// network (batch or layer shape mismatch), or `from_layer > depth()`.
+    pub fn resume_batch_tapped(
+        &self,
+        xs: &Matrix,
+        ws_nominal: &BatchWorkspace,
+        ws_scratch: &mut BatchWorkspace,
+        tap: &mut impl BatchTap,
+        from_layer: usize,
+    ) -> Vec<f64> {
+        assert_eq!(
+            xs.cols(),
+            self.input_dim(),
+            "resume_batch_tapped: input dimension mismatch"
+        );
+        assert!(
+            from_layer <= self.layers.len(),
+            "resume_batch_tapped: from_layer {from_layer} > depth {}",
+            self.layers.len()
+        );
+        if from_layer == 0 {
+            return self.resume_batch_from(xs, ws_scratch, tap, 0);
+        }
+        assert!(
+            ws_nominal.fits(self, xs.rows()),
+            "resume_batch_tapped: checkpoint workspace does not match (net, batch)"
+        );
+        self.resume_batch_from(
+            &ws_nominal.outs[from_layer - 1],
+            ws_scratch,
+            tap,
+            from_layer,
+        )
     }
 
     /// Batched forward pass without taps: `B` inputs → `B` outputs.
@@ -980,6 +1088,95 @@ mod tests {
             let scalar = net.forward_tapped(xs.row(b), &mut ws, &mut CrashFirstNeuron { layer: 0 });
             assert_eq!(y, scalar, "row {b}");
         }
+    }
+
+    #[test]
+    fn resume_from_nominal_checkpoint_is_bitwise_for_every_split() {
+        // A 3-layer squashing net: resuming an *unfaulted* pass at any
+        // split must reproduce the full pass bit for bit (the prefix is
+        // read from the checkpoint, the suffix recomputes with the same
+        // kernels on the same inputs).
+        let mut net = linear_net();
+        for l in net.layers_mut() {
+            if let Layer::Dense(d) = l {
+                d.activation = Activation::Tanh { k: 0.9 };
+            }
+        }
+        let xs = Matrix::from_fn(5, 2, |r, c| r as f64 * 0.21 - 0.4 + c as f64 * 0.13);
+        let mut nominal = BatchWorkspace::for_net(&net, 5);
+        let full = net.forward_batch(&xs, &mut nominal);
+        let mut scratch = BatchWorkspace::default();
+        for from in 0..=net.depth() {
+            let resumed =
+                net.resume_batch_tapped(&xs, &nominal, &mut scratch, &mut NoBatchTap, from);
+            for (b, (&a, &r)) in full.iter().zip(&resumed).enumerate() {
+                assert_eq!(a.to_bits(), r.to_bits(), "split {from}, row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_with_tap_matches_full_tapped_pass() {
+        // Fault at layer 1 only: resuming at 0 or 1 must equal the full
+        // tapped pass bitwise; the checkpoint prefix substitutes for the
+        // (unfaulted, hence nominal) layer-0 recomputation.
+        let net = linear_net();
+        let xs = Matrix::from_fn(4, 2, |r, c| 0.3 * r as f64 + 0.1 * c as f64);
+        let mut nominal = BatchWorkspace::for_net(&net, 4);
+        let _ = net.forward_batch(&xs, &mut nominal);
+        let mut full_ws = BatchWorkspace::default();
+        let full = net.forward_batch_tapped(&xs, &mut full_ws, &mut BatchCrashFirst { layer: 1 });
+        let mut scratch = BatchWorkspace::default();
+        for from in 0..=1 {
+            let resumed = net.resume_batch_tapped(
+                &xs,
+                &nominal,
+                &mut scratch,
+                &mut BatchCrashFirst { layer: 1 },
+                from,
+            );
+            for (b, (&a, &r)) in full.iter().zip(&resumed).enumerate() {
+                assert_eq!(a.to_bits(), r.to_bits(), "split {from}, row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_at_depth_runs_only_the_output_stage() {
+        let net = linear_net();
+        let xs = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.5, -0.25]);
+        let mut nominal = BatchWorkspace::for_net(&net, 2);
+        let full = net.forward_batch(&xs, &mut nominal);
+        // Resume directly over the checkpointed last layer: output taps
+        // still fire (here: hijack the sum), layer taps never do.
+        struct Hijack;
+        impl BatchTap for Hijack {
+            fn pre_activation(&mut self, _l: usize, _i: &Matrix, _s: &mut Matrix) {
+                panic!("layer taps must not fire when resuming at depth");
+            }
+            fn output_sum(&mut self, _last: &Matrix, sums: &mut [f64]) {
+                for s in sums.iter_mut() {
+                    *s += 100.0;
+                }
+            }
+        }
+        let mut scratch = BatchWorkspace::default();
+        let resumed =
+            net.resume_batch_tapped(&xs, &nominal, &mut scratch, &mut Hijack, net.depth());
+        for (b, (&a, &r)) in full.iter().zip(&resumed).enumerate() {
+            assert_eq!(r, a + 100.0, "row {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "from_layer")]
+    fn resume_past_depth_panics() {
+        let net = linear_net();
+        let xs = Matrix::zeros(1, 2);
+        let mut nominal = BatchWorkspace::for_net(&net, 1);
+        let _ = net.forward_batch(&xs, &mut nominal);
+        let mut scratch = BatchWorkspace::default();
+        let _ = net.resume_batch_tapped(&xs, &nominal, &mut scratch, &mut NoBatchTap, 3);
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub struct ServeConfig {
     /// [`take_log`](crate::CertServer::take_log) (for deterministic
     /// replay/audit). Off by default: the log grows with traffic.
     pub record_log: bool,
+    /// Coalesce requests for **different plans** sharing one network into
+    /// shared-net shards: plans registered against the same `Arc<Mlp>` get
+    /// one queue and worker pool, and each flush runs a *single* nominal
+    /// pass over every queued row plus one resumed faulty **suffix** per
+    /// plan present in the flush (the multi-plan engine of
+    /// `neurofail_inject::multi` at the serving layer). Served values stay
+    /// bitwise identical to per-plan serving; the saving is the per-plan
+    /// faulty prefix, reported as
+    /// [`ServeStats::nominal_rows_saved`](crate::ServeStats). Off by
+    /// default (per-plan shards, PR 3's layout).
+    pub coalesce_plans: bool,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +58,7 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             workers: Parallelism::Sequential,
             record_log: false,
+            coalesce_plans: false,
         }
     }
 }

@@ -9,11 +9,18 @@
 //! concurrent clients, each against some registered plan. Serving each
 //! query as its own scalar evaluation forfeits everything the batched
 //! substrate won. This crate closes that gap with **micro-batching**: per
-//! registered plan, a worker shard collects queued queries and flushes
-//! them through one
+//! shard, a worker collects queued queries and flushes them — on
+//! `max_batch` rows, or when the `max_wait` coalescing deadline expires,
+//! whichever is first — through the suffix engine: one nominal batched
+//! pass over the flush plus a faulty pass per plan **resumed** at that
+//! plan's first faulty layer
+//! ([`CompiledPlan::output_error_resumed`](neurofail_inject::CompiledPlan::output_error_resumed)
+//! semantics, bitwise equal to the two-full-passes
 //! [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
-//! call — on `max_batch` rows, or when the `max_wait` coalescing deadline
-//! expires, whichever is first.
+//! reference). With [`ServeConfig::coalesce_plans`], plans sharing one
+//! network are grouped onto **shared-net shards**, so queries against
+//! *different* plans coalesce into a single nominal pass too; the skipped
+//! prefix work is reported as [`ServeStats::nominal_rows_saved`].
 //!
 //! The design is thread + bounded-channel based (no async runtime — the
 //! workspace is dependency-free), built from:

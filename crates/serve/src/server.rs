@@ -1,27 +1,35 @@
 //! The certification server: plan-sharded workers behind micro-batching
 //! queues.
 //!
-//! Topology: every registered plan gets one **shard** — a bounded request
-//! queue ([`neurofail_par::channel`]) plus one or more worker threads that
-//! own a clone of the plan's [`RegisteredPlan`] and a private
-//! [`BatchWorkspace`]. Workers run the micro-batching loop:
+//! Topology: every **shard** — one registered plan, or, with
+//! [`ServeConfig::coalesce_plans`], the whole group of plans sharing one
+//! network — gets a bounded request queue ([`neurofail_par::channel`])
+//! plus one or more worker threads that own clones of the shard's
+//! [`RegisteredPlan`]s and private [`BatchWorkspace`]s. Workers run the
+//! micro-batching loop:
 //!
 //! 1. block on the queue for a first request;
 //! 2. greedily drain further requests (without blocking) up to
 //!    [`ServeConfig::max_batch`];
 //! 3. if the batch is still short, wait for more until the
 //!    [`ServeConfig::max_wait`] deadline;
-//! 4. gather the batch's inputs into one reused `B × d` matrix, evaluate
-//!    `|F_neu − F_fail|` for all rows through one
-//!    [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
-//!    call, and route each row's value back through its response handle.
+//! 4. gather the batch's inputs into one reused `B × d` matrix (rows
+//!    grouped by plan), run **one nominal pass** over the whole flush,
+//!    resume each plan's faulty pass at its first faulty layer against
+//!    that checkpoint (the suffix engine — the unfaulted prefix is never
+//!    recomputed, counted in
+//!    [`ServeStats::nominal_rows_saved`](crate::ServeStats)), and route
+//!    each row's value back through its response handle.
 //!
-//! Per-row batch independence makes the coalescing semantically invisible:
-//! each response is bitwise the value a direct singleton evaluation
-//! returns, so callers cannot tell (except in latency) how their query was
-//! batched. Shutdown is graceful by construction — dropping the queue
-//! senders lets workers drain everything still queued before they observe
-//! the disconnect and exit, so no accepted request is ever dropped.
+//! Per-row batch independence plus the suffix engine's bitwise contract
+//! make the coalescing semantically invisible: each response is bitwise
+//! the value a direct singleton
+//! [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
+//! evaluation returns, so callers cannot tell (except in latency) how
+//! their query was batched or which plans shared its flush. Shutdown is
+//! graceful by construction — dropping the queue senders lets workers
+//! drain everything still queued before they observe the disconnect and
+//! exit, so no accepted request is ever dropped.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -214,15 +222,19 @@ impl ResponseHandle {
     }
 }
 
-/// One queued query.
+/// One queued query. `slot` indexes the plan within its shard's plan
+/// group (always 0 for per-plan shards).
 struct Request {
+    slot: usize,
     seq: u64,
     input: Vec<f64>,
     submitted: Instant,
     resp: Responder,
 }
 
-/// One plan's queue, workers and stats.
+/// One shard: a queue, workers and stats serving a group of plans that
+/// share one network (a single plan unless
+/// [`ServeConfig::coalesce_plans`] grouped them).
 struct Shard {
     /// `Some` while the server accepts traffic; taken (dropped) at
     /// shutdown so workers can drain and exit.
@@ -237,6 +249,8 @@ struct Shard {
 /// usage example.
 pub struct CertServer {
     shards: Vec<Shard>,
+    /// `PlanId.0 → (shard index, slot within the shard's plan group)`.
+    routes: Vec<(usize, usize)>,
     seq: AtomicU64,
     log: Option<Arc<Mutex<Vec<LogEntry>>>>,
 }
@@ -245,6 +259,12 @@ impl CertServer {
     /// Spawn a server over every plan in `registry` (cloned out of it; the
     /// caller keeps the registry, e.g. for replay verification).
     ///
+    /// With [`ServeConfig::coalesce_plans`] set, plans registered against
+    /// the same network (`Arc` identity) share one shard, and each flush
+    /// serves all of them from a single nominal pass plus per-plan suffix
+    /// resumes; otherwise every plan gets its own shard (whose flushes
+    /// still run the suffix engine for the one plan they serve).
+    ///
     /// # Panics
     /// On nonsensical `cfg` (zero `max_batch` or `queue_capacity`).
     pub fn start(registry: &PlanRegistry, cfg: ServeConfig) -> CertServer {
@@ -252,22 +272,46 @@ impl CertServer {
         let log = cfg
             .record_log
             .then(|| Arc::new(Mutex::new(Vec::<LogEntry>::new())));
-        let shards = registry
-            .iter()
-            .map(|(id, entry)| {
+        // Partition plans into shard groups: singletons, or per shared net.
+        let mut groups: Vec<Vec<(PlanId, RegisteredPlan)>> = Vec::new();
+        let mut routes = Vec::with_capacity(registry.len());
+        for (id, entry) in registry.iter() {
+            let group = if cfg.coalesce_plans {
+                groups
+                    .iter()
+                    .position(|g| Arc::ptr_eq(g[0].1.net(), entry.net()))
+            } else {
+                None
+            };
+            match group {
+                Some(g) => {
+                    routes.push((g, groups[g].len()));
+                    groups[g].push((id, entry.clone()));
+                }
+                None => {
+                    routes.push((groups.len(), 0));
+                    groups.push(vec![(id, entry.clone())]);
+                }
+            }
+        }
+        let shards = groups
+            .into_iter()
+            .enumerate()
+            .map(|(shard_idx, plans)| {
                 let (tx, rx) = channel::bounded::<Request>(cfg.queue_capacity);
                 let stats = Arc::new(ShardStats::default());
                 let alive = Arc::new(AtomicUsize::new(cfg.workers.worker_count()));
+                let input_dim = plans[0].1.input_dim();
                 let workers = (0..cfg.workers.worker_count())
                     .map(|_| {
-                        let entry = entry.clone();
+                        let plans = plans.clone();
                         let rx = rx.clone();
                         let stats = Arc::clone(&stats);
                         let log = log.clone();
                         let alive = Arc::clone(&alive);
                         std::thread::Builder::new()
-                            .name(format!("neurofail-serve-{id}"))
-                            .spawn(move || worker_loop(id, entry, rx, cfg, stats, log, alive))
+                            .name(format!("neurofail-serve-shard{shard_idx}"))
+                            .spawn(move || worker_loop(plans, rx, cfg, stats, log, alive))
                             .expect("spawn serve worker")
                     })
                     .collect();
@@ -275,52 +319,62 @@ impl CertServer {
                     tx: Some(tx),
                     workers,
                     stats,
-                    input_dim: entry.input_dim(),
+                    input_dim,
                 }
             })
             .collect();
         CertServer {
             shards,
+            routes,
             seq: AtomicU64::new(0),
             log,
         }
     }
 
-    /// Number of plan shards (equals the registry's plan count).
+    /// Number of registered plans being served.
     pub fn plan_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Number of worker shards (equals the plan count unless
+    /// [`ServeConfig::coalesce_plans`] grouped shared-net plans).
+    pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
     /// Input dimension queries against `plan` must have.
     pub fn input_dim(&self, plan: PlanId) -> Option<usize> {
-        self.shards.get(plan.0).map(|s| s.input_dim)
+        let &(shard, _) = self.routes.get(plan.0)?;
+        Some(self.shards[shard].input_dim)
     }
 
-    fn checked_shard(&self, plan: PlanId, input: &[f64]) -> Result<&Shard, SubmitError> {
-        let shard = self
-            .shards
+    fn checked_shard(&self, plan: PlanId, input: &[f64]) -> Result<(&Shard, usize), SubmitError> {
+        let &(shard, slot) = self
+            .routes
             .get(plan.0)
             .ok_or(SubmitError::UnknownPlan(plan))?;
+        let shard = &self.shards[shard];
         if input.len() != shard.input_dim {
             return Err(SubmitError::DimensionMismatch {
                 expected: shard.input_dim,
                 got: input.len(),
             });
         }
-        Ok(shard)
+        Ok((shard, slot))
     }
 
-    fn make_request(&self, input: Vec<f64>) -> (Request, ResponseHandle) {
+    fn make_request(&self, slot: usize, input: Vec<f64>) -> (Request, ResponseHandle) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let slot = OneShot::new();
+        let oneshot = OneShot::new();
         (
             Request {
+                slot,
                 seq,
                 input,
                 submitted: Instant::now(),
-                resp: Responder(Arc::clone(&slot)),
+                resp: Responder(Arc::clone(&oneshot)),
             },
-            ResponseHandle { slot, seq },
+            ResponseHandle { slot: oneshot, seq },
         )
     }
 
@@ -334,9 +388,9 @@ impl CertServer {
     /// panicked (the queue is disconnected: nothing would serve the
     /// request).
     pub fn submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
-        let shard = self.checked_shard(plan, &input)?;
+        let (shard, slot) = self.checked_shard(plan, &input)?;
         let tx = shard.tx.as_ref().expect("server accepts traffic");
-        let (req, handle) = self.make_request(input);
+        let (req, handle) = self.make_request(slot, input);
         let Ok(depth) = tx.send(req) else {
             // All receiver clones are gone ⇒ every shard worker died.
             return Err(SubmitError::ShardDown(plan));
@@ -352,9 +406,9 @@ impl CertServer {
     /// # Errors
     /// As [`CertServer::submit`], plus [`SubmitError::QueueFull`].
     pub fn try_submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
-        let shard = self.checked_shard(plan, &input)?;
+        let (shard, slot) = self.checked_shard(plan, &input)?;
         let tx = shard.tx.as_ref().expect("server accepts traffic");
-        let (req, handle) = self.make_request(input);
+        let (req, handle) = self.make_request(slot, input);
         match tx.try_send(req) {
             Ok(depth) => {
                 shard.stats.on_submit(depth);
@@ -380,12 +434,15 @@ impl CertServer {
         Ok(handle.wait().expect("serving worker answered"))
     }
 
-    /// Snapshot `plan`'s serving statistics.
+    /// Snapshot `plan`'s serving statistics. Under
+    /// [`ServeConfig::coalesce_plans`], plans grouped onto one shared-net
+    /// shard share one statistics block — the snapshot covers the whole
+    /// shard's traffic.
     pub fn stats(&self, plan: PlanId) -> Option<ServeStats> {
-        self.shards.get(plan.0).map(|s| {
-            let depth = s.tx.as_ref().map_or(0, channel::Sender::len);
-            s.stats.snapshot(depth)
-        })
+        let &(shard, _) = self.routes.get(plan.0)?;
+        let s = &self.shards[shard];
+        let depth = s.tx.as_ref().map_or(0, channel::Sender::len);
+        Some(s.stats.snapshot(depth))
     }
 
     /// Drain the recorded request log (entries sorted by submission
@@ -421,13 +478,17 @@ impl CertServer {
 
     /// Graceful shutdown: stop accepting traffic, let workers drain every
     /// queued request (all outstanding [`ResponseHandle`]s resolve), join
-    /// them, and return each plan's final stats in [`PlanId`] order.
+    /// them, and return each plan's final stats in [`PlanId`] order
+    /// (plans sharing a coalesced shard report that shard's stats).
     ///
     /// Taking `self` by value makes the grace period type-checked: no
     /// other thread can still hold `&self` to submit with.
     pub fn shutdown(mut self) -> Vec<ServeStats> {
         self.shutdown_inner();
-        self.shards.iter().map(|s| s.stats.snapshot(0)).collect()
+        self.routes
+            .iter()
+            .map(|&(shard, _)| self.shards[shard].stats.snapshot(0))
+            .collect()
     }
 }
 
@@ -463,9 +524,16 @@ impl Drop for WorkerGuard {
 }
 
 /// The micro-batching worker loop (one per shard worker thread).
+///
+/// `plans` is the shard's plan group — one entry per slot, all sharing a
+/// network. Each flush runs the suffix engine: one nominal pass over the
+/// whole coalesced batch, then per plan present in the flush one faulty
+/// pass **resumed** at that plan's first faulty layer, so the unfaulted
+/// prefix is never recomputed. Served values are bitwise identical to
+/// per-plan singleton `output_error_batch` evaluations (per-row
+/// independence + the suffix engine's bitwise contract).
 fn worker_loop(
-    plan: PlanId,
-    entry: RegisteredPlan,
+    plans: Vec<(PlanId, RegisteredPlan)>,
     rx: channel::Receiver<Request>,
     cfg: ServeConfig,
     stats: Arc<ShardStats>,
@@ -476,10 +544,15 @@ fn worker_loop(
         rx: rx.clone(),
         alive,
     };
-    let dim = entry.input_dim();
-    let mut ws = BatchWorkspace::default();
+    let dim = plans[0].1.input_dim();
+    let net = Arc::clone(plans[0].1.net());
+    let mut ws_nominal = BatchWorkspace::default();
+    let mut ws_scratch = BatchWorkspace::default();
     let mut xs = Matrix::zeros(0, dim);
+    let mut group_input = Matrix::zeros(0, 0);
     let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    let mut order: Vec<usize> = Vec::with_capacity(cfg.max_batch);
+    let mut values: Vec<f64> = Vec::with_capacity(cfg.max_batch);
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.max_batch);
 
     loop {
@@ -506,33 +579,84 @@ fn worker_loop(
             }
         }
 
-        // Phase 3: one batched evaluation for the whole flush. Row order
-        // is queue order, but per-row independence makes it irrelevant to
-        // the values served.
-        xs.resize(batch.len(), dim);
-        for (row, req) in batch.iter().enumerate() {
-            xs.row_mut(row).copy_from_slice(&req.input);
+        // Phase 3: one shared nominal pass plus per-plan suffix resumes
+        // for the whole flush. Rows are staged grouped by slot (stable
+        // within a slot), but per-row independence makes the staging
+        // order irrelevant to the values served.
+        let rows = batch.len();
+        order.clear();
+        order.extend(0..rows);
+        if plans.len() > 1 {
+            order.sort_by_key(|&i| batch[i].slot);
         }
-        let values = entry.eval_batch(&xs, &mut ws);
+        xs.resize(rows, dim);
+        for (row, &i) in order.iter().enumerate() {
+            xs.row_mut(row).copy_from_slice(&batch[i].input);
+        }
+        let nominal = net.forward_batch(&xs, &mut ws_nominal);
+        values.clear();
+        values.resize(rows, 0.0);
+        let mut saved = 0u64;
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let slot = batch[order[r0]].slot;
+            let mut r1 = r0 + 1;
+            while r1 < rows && batch[order[r1]].slot == slot {
+                r1 += 1;
+            }
+            let entry = &plans[slot].1;
+            let from = entry.compiled().first_faulty_layer();
+            let faulty = if r1 - r0 == rows {
+                // A whole-flush group resumes directly against the
+                // checkpoint, no row copy.
+                entry.compiled().resume_batch_checkpointed(
+                    &net,
+                    &xs,
+                    &ws_nominal,
+                    &mut ws_scratch,
+                    from,
+                )
+            } else {
+                // A partial group copies its rows of the resume input —
+                // the layer-(from−1) checkpoint taps, or `xs` itself for
+                // plans faulting layer 0 — and resumes over just those.
+                let src: &Matrix = if from == 0 {
+                    &xs
+                } else {
+                    &ws_nominal.outs[from - 1]
+                };
+                group_input.resize(r1 - r0, src.cols());
+                for (gr, r) in (r0..r1).enumerate() {
+                    group_input.row_mut(gr).copy_from_slice(src.row(r));
+                }
+                entry
+                    .compiled()
+                    .resume_batch_from(&net, &group_input, &mut ws_scratch, from)
+            };
+            for (gr, r) in (r0..r1).enumerate() {
+                values[order[r]] = (nominal[r] - faulty[gr]).abs();
+            }
+            saved += from as u64 * (r1 - r0) as u64;
+            r0 = r1;
+        }
         let done = Instant::now();
 
         // Phase 4: account, record, respond — in that order, so a caller
         // that has already received its response never observes stats (or
         // a log) missing the flush that served it.
-        let rows = batch.len();
         latencies_ns.clear();
         latencies_ns.extend(
             batch
                 .iter()
                 .map(|req| done.duration_since(req.submitted).as_nanos() as u64),
         );
-        stats.on_flush(rows, &latencies_ns);
+        stats.on_flush(rows, &latencies_ns, saved);
         if let Some(log) = &log {
             let mut log = log.lock();
             // Inputs are moved out of the requests (responses don't need
             // them), so logging adds no per-request allocation.
             log.extend(batch.iter_mut().zip(&values).map(|(req, &value)| LogEntry {
-                plan: plan.0,
+                plan: plans[req.slot].0 .0,
                 seq: req.seq,
                 input: std::mem::take(&mut req.input),
                 value,
@@ -797,6 +921,152 @@ mod tests {
         assert!(stats.p50_latency > Duration::ZERO);
         assert!(stats.p99_latency >= stats.p50_latency);
         assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.flushes);
+        server.shutdown();
+    }
+
+    #[test]
+    fn coalesced_shards_group_shared_net_plans_and_serve_bitwise_values() {
+        use neurofail_inject::plan::{SynapseFault, SynapseSite, SynapseTarget};
+        // One shared net, three plans at different depths (layer 0, layer
+        // 1, output synapse) + a second net with its own plan: coalescing
+        // must produce 2 shards, serve bitwise-exact values for every
+        // plan, and bank nominal_rows_saved for the late plans.
+        let net = Arc::new(Mlp::new(
+            vec![
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5]),
+                    vec![],
+                    Activation::Identity,
+                )),
+                Layer::Dense(DenseLayer::new(
+                    Matrix::from_vec(2, 3, vec![1.0, -0.5, 0.25, 0.0, 1.0, -1.0]),
+                    vec![],
+                    Activation::Identity,
+                )),
+            ],
+            vec![1.0, 2.0],
+            0.0,
+        ));
+        let other = Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![1.0, -1.0],
+            0.0,
+        ));
+        let mut reg = PlanRegistry::new();
+        reg.register(Arc::clone(&net), &InjectionPlan::crash([(0, 2)]), 1.0)
+            .unwrap();
+        reg.register(Arc::clone(&net), &InjectionPlan::crash([(1, 0)]), 1.0)
+            .unwrap();
+        reg.register(
+            Arc::clone(&net),
+            &InjectionPlan {
+                neurons: vec![],
+                synapses: vec![SynapseSite {
+                    target: SynapseTarget::Output { from: 1 },
+                    fault: SynapseFault::Crash,
+                }],
+            },
+            1.0,
+        )
+        .unwrap();
+        reg.register(Arc::clone(&other), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                coalesce_plans: true,
+                max_batch: 16,
+                max_wait: Duration::from_millis(2),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.plan_count(), 4);
+        assert_eq!(server.shard_count(), 2, "three shared-net plans, one solo");
+        // Concurrent traffic across all four plans.
+        let n = 48;
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let server = &server;
+                s.spawn(move || {
+                    let plan = PlanId(i % 4);
+                    let x = [0.07 * i as f64 - 1.0, 0.5 - 0.03 * i as f64];
+                    server.query(plan, &x).unwrap()
+                });
+            }
+        });
+        // Bitwise serving equivalence per plan.
+        let mut ws = BatchWorkspace::default();
+        for i in 0..8 {
+            let plan = PlanId(i % 4);
+            let x = [0.07 * i as f64 - 1.0, 0.5 - 0.03 * i as f64];
+            let served = server.query(plan, &x).unwrap();
+            let direct = reg.get(plan).unwrap().eval_singleton(&x, &mut ws);
+            assert_eq!(served.to_bits(), direct.to_bits(), "{plan}");
+        }
+        // The shared shard banked suffix savings: the layer-1 plan saves
+        // 1 layer-row per row, the output-synapse plan 2 — the layer-0
+        // plan none. The solo shard's plan faults layer 0: saves nothing.
+        let shared = server.stats(PlanId(0)).unwrap();
+        assert!(
+            shared.nominal_rows_saved > 0,
+            "late-layer plans must bank prefix savings"
+        );
+        let solo = server.stats(PlanId(3)).unwrap();
+        assert_eq!(solo.nominal_rows_saved, 0);
+        // Shared-shard stats cover the whole group.
+        assert_eq!(shared.rows_served + solo.rows_served, n as u64 + 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn coalesced_log_replays_bitwise_with_correct_plan_ids() {
+        let reg = test_registry(); // two plans on one shared net
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                coalesce_plans: true,
+                record_log: true,
+                max_batch: 8,
+                max_wait: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(server.shard_count(), 1);
+        for i in 0..30 {
+            server
+                .query(PlanId(i % 2), &[i as f64 * 0.04, 0.6])
+                .unwrap();
+        }
+        let log = server.take_log();
+        assert_eq!(log.len(), 30);
+        // Every entry carries the *plan's* id (not the shard's), so the
+        // replay verifies against the registry as before.
+        for e in &log.entries {
+            assert_eq!(e.plan, (e.seq % 2) as usize);
+        }
+        log.verify(&reg).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_plan_shards_also_bank_suffix_savings() {
+        // Even without cross-plan coalescing, the worker's flush runs the
+        // suffix engine: the fault-free plan (first faulty layer = depth)
+        // banks one layer-row per served row.
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        for _ in 0..10 {
+            server.query(PlanId(1), &[0.4, 0.2]).unwrap(); // the empty plan
+        }
+        let stats = server.stats(PlanId(1)).unwrap();
+        assert_eq!(stats.nominal_rows_saved, 10);
+        // The crash-at-layer-0 plan saves nothing.
+        server.query(PlanId(0), &[0.4, 0.2]).unwrap();
+        assert_eq!(server.stats(PlanId(0)).unwrap().nominal_rows_saved, 0);
         server.shutdown();
     }
 

@@ -47,6 +47,7 @@ pub(crate) struct ShardStats {
     rejected: AtomicU64,
     flushes: AtomicU64,
     rows: AtomicU64,
+    nominal_rows_saved: AtomicU64,
     hist: [AtomicU64; BATCH_BUCKETS],
     max_queue_depth: AtomicUsize,
     latencies: Mutex<Reservoir>,
@@ -75,10 +76,13 @@ impl ShardStats {
     }
 
     /// A worker flushed a batch of `rows` rows whose per-request latencies
-    /// are `latencies_ns`.
-    pub(crate) fn on_flush(&self, rows: usize, latencies_ns: &[u64]) {
+    /// are `latencies_ns`; `nominal_rows_saved` is the layer-rows of
+    /// faulty-prefix recomputation the suffix engine skipped in the flush.
+    pub(crate) fn on_flush(&self, rows: usize, latencies_ns: &[u64], nominal_rows_saved: u64) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.nominal_rows_saved
+            .fetch_add(nominal_rows_saved, Ordering::Relaxed);
         self.hist[bucket_of(rows)].fetch_add(1, Ordering::Relaxed);
         let mut res = self.latencies.lock();
         for &ns in latencies_ns {
@@ -115,6 +119,7 @@ impl ShardStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             flushes,
             rows_served: rows,
+            nominal_rows_saved: self.nominal_rows_saved.load(Ordering::Relaxed),
             mean_batch: if flushes == 0 {
                 0.0
             } else {
@@ -140,6 +145,14 @@ pub struct ServeStats {
     pub flushes: u64,
     /// Rows served across all flushes (equals completed requests).
     pub rows_served: u64,
+    /// Layer-rows of nominal-prefix recomputation the suffix engine
+    /// skipped: a flush row served by a plan whose first faulty layer is
+    /// `f` reuses `f` checkpointed layers instead of recomputing them in
+    /// its faulty pass, adding `f` here. A full per-plan
+    /// `output_error_batch` flush would have recomputed all of them —
+    /// this is the work cross-plan coalescing and suffix resumption
+    /// eliminate (0 under fault plans that start at layer 0).
+    pub nominal_rows_saved: u64,
     /// Mean rows per flush — the coalescing factor actually achieved.
     pub mean_batch: f64,
     /// Flush-size histogram over the [`BATCH_BUCKET_LABELS`] buckets.
@@ -176,13 +189,14 @@ mod tests {
         s.on_submit(3);
         s.on_submit(5);
         s.on_reject();
-        s.on_flush(2, &[1_000, 3_000]);
-        s.on_flush(1, &[2_000]);
+        s.on_flush(2, &[1_000, 3_000], 4);
+        s.on_flush(1, &[2_000], 3);
         let snap = s.snapshot(7);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.flushes, 2);
         assert_eq!(snap.rows_served, 3);
+        assert_eq!(snap.nominal_rows_saved, 7);
         assert!((snap.mean_batch - 1.5).abs() < 1e-12);
         assert_eq!(snap.batch_hist[0], 1);
         assert_eq!(snap.batch_hist[1], 1);
@@ -196,7 +210,7 @@ mod tests {
     fn reservoir_wraps_at_capacity() {
         let s = ShardStats::default();
         let ns: Vec<u64> = (0..RESERVOIR as u64 + 100).collect();
-        s.on_flush(ns.len(), &ns);
+        s.on_flush(ns.len(), &ns, 0);
         let snap = s.snapshot(0);
         // The 100 oldest samples were overwritten by the wrap, so the kept
         // set is exactly {100, …, RESERVOIR+99} and the median shifts by

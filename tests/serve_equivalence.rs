@@ -92,6 +92,7 @@ proptest! {
         wait_idx in 0usize..3,
         policy_idx in 0usize..3,
         clients in 1usize..5,
+        coalesce_plans in proptest::bool::ANY,
     ) {
         let net = Arc::new(build_net(seed, depth, width));
         let registry = build_registry(Arc::clone(&net), seed);
@@ -101,8 +102,15 @@ proptest! {
             queue_capacity: 64,
             workers: [Parallelism::Sequential, Parallelism::Threads(2), Parallelism::Threads(5)][policy_idx],
             record_log: true,
+            // All three plans share the net: coalescing folds them onto
+            // one shared-net shard whose flushes mix plans — the suffix
+            // engine must stay bitwise-invisible there too.
+            coalesce_plans,
         };
         let server = CertServer::start(&registry, cfg);
+        if coalesce_plans {
+            prop_assert_eq!(server.shard_count(), 1);
+        }
         let mix = request_mix(seed, 24, registry.len());
 
         // Submit concurrently from several clients, each with its own
@@ -170,6 +178,7 @@ proptest! {
             queue_capacity: 256,
             workers: [Parallelism::Sequential, Parallelism::Threads(2), Parallelism::Threads(4)][policy_idx],
             record_log: false,
+            coalesce_plans: false,
         });
         let mix = request_mix(seed, 60, registry.len());
         let pending: Vec<_> = mix
