@@ -1,8 +1,9 @@
 //! Machine-readable performance snapshot: one JSON file
-//! (`BENCH_PR4.json`) covering the workspace's four engine hot paths —
-//! campaign evaluation, training epochs, serve throughput and multi-plan
-//! evaluation — so the perf trajectory is tracked across PRs by diffable
-//! numbers rather than prose.
+//! (`BENCH_PR5.json`) covering the workspace's five engine hot paths —
+//! campaign evaluation, training epochs, serve throughput, multi-plan
+//! evaluation and streaming input-incremental evaluation — so the perf
+//! trajectory is tracked across PRs by diffable numbers rather than
+//! prose.
 //!
 //! Usage:
 //!
@@ -13,7 +14,7 @@
 //! ```
 //!
 //! Smoke mode shrinks every workload so the binary doubles as a CI check
-//! that all four engines still run end to end; the emitted JSON carries
+//! that all five engines still run end to end; the emitted JSON carries
 //! the mode so trajectories only compare like with like.
 
 use std::sync::Arc;
@@ -23,8 +24,8 @@ use neurofail_data::dataset::Dataset;
 use neurofail_data::rng::rng;
 use neurofail_inject::exhaustive::Combinations;
 use neurofail_inject::{
-    run_campaign, CampaignConfig, CompiledPlan, FaultSpec, InjectionPlan, MultiPlanEvaluator,
-    PlanRegistry, TrialKind,
+    output_error_many, run_campaign, CampaignConfig, CompiledPlan, FaultSpec, InjectionPlan,
+    MultiPlanEvaluator, PlanRegistry, StreamingEvaluator, TrialKind,
 };
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
@@ -244,6 +245,73 @@ fn multi_plan_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
     ]
 }
 
+fn streaming_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
+    let (depth, width, n_chunks, rows) = if smoke { (4, 10, 4, 4) } else { (6, 24, 4, 16) };
+    let net = Arc::new(deep_net(depth, width, 8, 0x57));
+    let last = depth - 1;
+    let plans: Vec<CompiledPlan> = (0..6)
+        .map(|n| {
+            CompiledPlan::compile(&InjectionPlan::crash([(last, n % width)]), &net, 1.0)
+                .expect("valid site")
+        })
+        .collect();
+    let stream_chunks: Vec<Matrix> = {
+        let mut r = rng(0x58);
+        (0..n_chunks)
+            .map(|_| Matrix::from_fn(rows, 8, |_, _| rand::Rng::gen_range(&mut r, 0.0..=1.0)))
+            .collect()
+    };
+    let units = (n_chunks * rows * plans.len()) as u64;
+    let workload = format!(
+        "L{depth} w{width} {} plans, {n_chunks} chunks x {rows} rows",
+        plans.len()
+    );
+    let streaming = best_of(reps, || {
+        let mut stream = StreamingEvaluator::new(Arc::clone(&net), plans.clone());
+        let mut worst = 0.0f64;
+        for chunk in &stream_chunks {
+            for errs in stream.push_chunk(chunk) {
+                for e in errs {
+                    worst = worst.max(e);
+                }
+            }
+        }
+        worst
+    });
+    // The strongest from-scratch baseline: the multi-plan suffix engine
+    // over the cumulative input set on every chunk arrival.
+    let recompute = best_of(reps, || {
+        let mut all = Matrix::zeros(0, 8);
+        let mut worst = 0.0f64;
+        for chunk in &stream_chunks {
+            let base = all.rows();
+            all.append_rows(chunk);
+            for errs in output_error_many(&net, &all, &plans) {
+                for &e in &errs[base..] {
+                    worst = worst.max(e);
+                }
+            }
+        }
+        worst
+    });
+    vec![
+        Metric {
+            name: "streaming_eval".into(),
+            workload: workload.clone(),
+            seconds: streaming,
+            units,
+            throughput: units as f64 / streaming,
+        },
+        Metric {
+            name: "streaming_eval_recompute".into(),
+            workload,
+            seconds: recompute,
+            units,
+            throughput: units as f64 / recompute,
+        },
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -251,7 +319,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let reps = if smoke { 1 } else { 3 };
 
     let mut metrics = vec![
@@ -260,9 +328,10 @@ fn main() {
         serve_metric(smoke, reps),
     ];
     metrics.extend(multi_plan_metrics(smoke, reps));
+    metrics.extend(streaming_metrics(smoke, reps));
 
     let snapshot = Snapshot {
-        schema: "neurofail-perf/PR4".into(),
+        schema: "neurofail-perf/PR5".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         metrics,
     };

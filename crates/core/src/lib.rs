@@ -20,12 +20,17 @@
 //! plus [`tolerance`] (inverse search: how many faults fit in `ε − ε'`) and
 //! [`mod@certify`] (one-call robustness certificates).
 //!
-//! Everything here is a pure function of the network **topology** — the
-//! tuple `(L, N_l, w_m^(l), K, C)` captured by [`profile::NetworkProfile`] —
+//! The bounds are pure functions of the network **topology** — the tuple
+//! `(L, N_l, w_m^(l), K, C)` captured by [`profile::NetworkProfile`] —
 //! never of its execution: that is the paper's point ("computing this
 //! quantity only requires looking at the topology of the network", vs. the
-//! "discouraging combinatorial explosion" of experimental assessment, which
-//! lives in `neurofail-inject` for exactly the comparison's sake).
+//! "discouraging combinatorial explosion" of experimental assessment,
+//! whose machinery lives in `neurofail-inject`). The one deliberate
+//! exception is [`measured`]: the *inverse* tolerance searches restated
+//! against measured disturbances — the empirical thresholds the
+//! experiments price the analytic ones against — routed through
+//! `neurofail-inject`'s checkpoint cache so re-evaluating the same probe
+//! set across ε′/capacity iterations never repeats a nominal pass.
 
 #![warn(missing_docs)]
 
@@ -36,6 +41,7 @@ pub mod certify;
 pub mod convolutional;
 pub mod crash;
 pub mod fep;
+pub mod measured;
 pub mod overprovision;
 pub mod precision;
 pub mod profile;
@@ -45,4 +51,5 @@ pub mod tolerance;
 pub use budget::EpsilonBudget;
 pub use certify::{certify, Certificate};
 pub use fep::{crash_fep, fep, FepBreakdown};
+pub use measured::{measured_capacity_sweep, measured_crash_thresholds, MeasuredThreshold};
 pub use profile::{Capacity, FaultClass, NetworkProfile};

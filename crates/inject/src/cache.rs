@@ -1,0 +1,405 @@
+//! Content-addressed nominal-checkpoint cache: skip even the *one*
+//! nominal pass.
+//!
+//! The suffix engine ([`crate::multi`]) already shares one nominal pass
+//! across a plan family — but every new evaluation over the same input
+//! set still pays that one pass. Tolerance/threshold searches re-evaluate
+//! the same Halton/grid probe sets across ε′ (or capacity) iterations,
+//! repeated campaigns re-certify fixed input sets, and
+//! [`PlanRegistry::eval_many`](crate::PlanRegistry::eval_many) calls
+//! arrive over long-lived input sets. [`CheckpointCache`] memoises the
+//! nominal checkpoint itself, keyed by **(network identity, input-set
+//! content hash)**: a hit returns the stored [`BatchWorkspace`] taps and
+//! nominal outputs, so the whole evaluation reduces to per-plan faulty
+//! suffixes.
+//!
+//! ## Key semantics and the determinism contract
+//!
+//! * **Network identity** is `Arc` pointer identity — the cache holds an
+//!   [`Arc<Mlp>`] per entry, so a cached network cannot be dropped (and
+//!   its address recycled) while its checkpoint lives. Mutating a network
+//!   through other handles is outside the contract, exactly as for the
+//!   suffix engine's checkpoints.
+//! * **Content hash**: [`input_set_hash`] folds the dimensions and the
+//!   raw f64 *bit patterns* of the input matrix (FNV-1a over 64-bit
+//!   words, SplitMix64-finalised). Bitwise-equal input sets — the only
+//!   kind for which reusing a checkpoint is bitwise-sound — always
+//!   collide onto the same key; numerically equal but bitwise distinct
+//!   sets (`-0.0` vs `0.0`) deliberately do not.
+//! * The hash is the *index*, not the proof: every entry stores its input
+//!   set and a hit additionally verifies it bitwise, so a 64-bit hash
+//!   collision degrades to a miss, never to a wrong checkpoint. Cached
+//!   results are therefore **bitwise** equal to cold-path evaluation, and
+//!   eviction can never change a value — only cost
+//!   (`tests/incremental_equivalence.rs`).
+//!
+//! Eviction is LRU over a fixed entry capacity; [`CacheStats`] reports
+//! hits, misses, evictions, resident bytes, and the layer-rows of nominal
+//! recomputation hits avoided.
+
+use std::sync::Arc;
+
+use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_par::seed::splitmix64;
+use neurofail_tensor::Matrix;
+
+use crate::executor::CompiledPlan;
+
+/// Content hash of an input set: dimensions plus every element's raw bit
+/// pattern, folded FNV-1a-style over 64-bit words and finalised with
+/// SplitMix64. A pure function of the matrix's bits — equal bits always
+/// hash equal, so bitwise-identical input sets address the same cache
+/// slot on any host and any run.
+pub fn input_set_hash(xs: &Matrix) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    mix(xs.rows() as u64);
+    mix(xs.cols() as u64);
+    for &v in xs.data() {
+        mix(v.to_bits());
+    }
+    splitmix64(h)
+}
+
+/// One resident checkpoint: the `(net, xs)` witness pair plus the nominal
+/// taps and outputs a pass over them produced.
+#[derive(Debug)]
+struct CacheEntry {
+    net: Arc<Mlp>,
+    hash: u64,
+    /// The exact input set the checkpoint was computed over — the bitwise
+    /// witness a hit is verified against (hash collisions degrade to
+    /// misses).
+    xs: Matrix,
+    ws: BatchWorkspace,
+    nominal_y: Vec<f64>,
+    last_used: u64,
+    bytes: usize,
+}
+
+/// A borrowed view of a cached (or just-computed) nominal checkpoint.
+#[derive(Debug)]
+pub struct CachedCheckpoint<'a> {
+    /// The nominal per-layer taps (read-only by the aliasing rules —
+    /// resume suffixes into a separate scratch workspace).
+    pub ws: &'a BatchWorkspace,
+    /// Nominal outputs `F_neu(x_b)`, row-aligned with the input set.
+    pub nominal_y: &'a [f64],
+    /// Whether this lookup was served from cache (`false`: the nominal
+    /// pass just ran and the entry was inserted).
+    pub hit: bool,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a resident checkpoint (nominal pass skipped).
+    pub hits: u64,
+    /// Lookups that had to run the nominal pass.
+    pub misses: u64,
+    /// Entries displaced by LRU pressure.
+    pub evictions: u64,
+    /// Checkpoints currently resident.
+    pub entries: usize,
+    /// Approximate resident payload bytes (taps + outputs + witness sets).
+    pub bytes: usize,
+    /// Layer-rows of nominal recomputation hits skipped: a hit over `B`
+    /// rows through an `L`-layer network banks `L · B` (the
+    /// [`prefix_rows_saved`](crate::MultiPlanEvaluator::prefix_rows_saved)
+    /// accounting, applied to the nominal pass itself).
+    pub nominal_rows_saved: u64,
+}
+
+/// An LRU cache of nominal batch checkpoints keyed by
+/// `(network identity, input-set content hash)`.
+///
+/// # Example
+/// ```
+/// use std::sync::Arc;
+/// use neurofail_data::rng::rng;
+/// use neurofail_inject::{CheckpointCache, CompiledPlan, InjectionPlan};
+/// use neurofail_nn::{activation::Activation, BatchWorkspace, MlpBuilder};
+/// use neurofail_tensor::{init::Init, Matrix};
+///
+/// let net = Arc::new(
+///     MlpBuilder::new(2)
+///         .dense(6, Activation::Sigmoid { k: 1.0 })
+///         .init(Init::Xavier)
+///         .build(&mut rng(5)),
+/// );
+/// let plan = CompiledPlan::compile(&InjectionPlan::crash([(0, 1)]), &net, 1.0).unwrap();
+/// let xs = Matrix::from_fn(8, 2, |r, c| 0.1 * r as f64 + 0.07 * c as f64);
+///
+/// let mut cache = CheckpointCache::new(4);
+/// let mut scratch = BatchWorkspace::default();
+/// let cold = cache.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+/// let warm = cache.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+/// assert_eq!(cold, warm); // bitwise: the hit reuses the same checkpoint
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct CheckpointCache {
+    capacity: usize,
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    nominal_rows_saved: u64,
+}
+
+impl CheckpointCache {
+    /// A cache holding at most `capacity` checkpoints.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "CheckpointCache: capacity must be >= 1");
+        CheckpointCache {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            nominal_rows_saved: 0,
+        }
+    }
+
+    /// The entry capacity this cache evicts against.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.entries.iter().map(|e| e.bytes).sum(),
+            nominal_rows_saved: self.nominal_rows_saved,
+        }
+    }
+
+    /// Drop every resident checkpoint (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Look up the nominal checkpoint for `(net, xs)`, running the
+    /// nominal pass and inserting it on a miss. The returned view is
+    /// bitwise identical either way — a hit only changes cost.
+    pub fn checkpoint(&mut self, net: &Arc<Mlp>, xs: &Matrix) -> CachedCheckpoint<'_> {
+        let hash = input_set_hash(xs);
+        self.tick += 1;
+        let found = self.entries.iter().position(|e| {
+            Arc::ptr_eq(&e.net, net)
+                && e.hash == hash
+                && e.xs.rows() == xs.rows()
+                && e.xs.cols() == xs.cols()
+                && e.xs
+                    .data()
+                    .iter()
+                    .zip(xs.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+        let idx = match found {
+            Some(idx) => {
+                self.hits += 1;
+                self.nominal_rows_saved += (net.depth() * xs.rows()) as u64;
+                self.entries[idx].last_used = self.tick;
+                idx
+            }
+            None => {
+                self.misses += 1;
+                // Reuse the evicted entry's buffers where possible: the
+                // steady state of a search alternating a few input sets
+                // through a small cache is then allocation-free.
+                let mut ws = if self.entries.len() >= self.capacity {
+                    self.evictions += 1;
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("capacity >= 1");
+                    self.entries.swap_remove(lru).ws
+                } else {
+                    BatchWorkspace::default()
+                };
+                let nominal_y = net.forward_batch(xs, &mut ws);
+                let tap_elems: usize = ws.sums.iter().map(|m| m.data().len()).sum::<usize>()
+                    + ws.outs.iter().map(|m| m.data().len()).sum::<usize>();
+                let bytes =
+                    (tap_elems + nominal_y.len() + xs.data().len()) * std::mem::size_of::<f64>();
+                self.entries.push(CacheEntry {
+                    net: Arc::clone(net),
+                    hash,
+                    xs: xs.clone(),
+                    ws,
+                    nominal_y,
+                    last_used: self.tick,
+                    bytes,
+                });
+                self.entries.len() - 1
+            }
+        };
+        let entry = &self.entries[idx];
+        CachedCheckpoint {
+            ws: &entry.ws,
+            nominal_y: &entry.nominal_y,
+            hit: found.is_some(),
+        }
+    }
+
+    /// [`output_error_many`](crate::output_error_many) through the cache:
+    /// evaluate a plan family over `xs` with the nominal pass served from
+    /// cache when `(net, xs)` was seen before. Returns one disturbance
+    /// vector per plan, each **bitwise** equal to the corresponding
+    /// per-plan
+    /// [`CompiledPlan::output_error_batch`] call; `scratch` absorbs the
+    /// suffix recomputation (allocation-free once grown).
+    pub fn output_error_many(
+        &mut self,
+        net: &Arc<Mlp>,
+        xs: &Matrix,
+        plans: &[CompiledPlan],
+        scratch: &mut BatchWorkspace,
+    ) -> Vec<Vec<f64>> {
+        let ck = self.checkpoint(net, xs);
+        plans
+            .iter()
+            .map(|plan| plan.output_error_checkpointed(net, xs, ck.ws, ck.nominal_y, scratch))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::InjectionPlan;
+    use neurofail_data::rng::rng;
+    use neurofail_nn::activation::Activation;
+    use neurofail_nn::builder::MlpBuilder;
+    use neurofail_tensor::init::Init;
+
+    fn net(seed: u64) -> Arc<Mlp> {
+        Arc::new(
+            MlpBuilder::new(2)
+                .dense(5, Activation::Sigmoid { k: 1.0 })
+                .dense(4, Activation::Tanh { k: 0.8 })
+                .init(Init::Xavier)
+                .build(&mut rng(seed)),
+        )
+    }
+
+    fn points(seed: u64, rows: usize) -> Matrix {
+        Matrix::from_fn(rows, 2, |r, c| {
+            0.13 * (r as f64 + seed as f64) - 0.4 + 0.09 * c as f64
+        })
+    }
+
+    #[test]
+    fn hash_is_content_addressed() {
+        let a = points(1, 6);
+        let mut b = points(1, 6);
+        assert_eq!(input_set_hash(&a), input_set_hash(&b));
+        // Flip one ulp: numerically invisible, but content-distinct.
+        b.set(3, 1, f64::from_bits(b.get(3, 1).to_bits() ^ 1));
+        assert_ne!(input_set_hash(&a), input_set_hash(&b));
+        // Sign-of-zero is content: -0.0 and 0.0 hash apart.
+        let z = Matrix::zeros(1, 1);
+        let nz = Matrix::from_vec(1, 1, vec![-0.0]);
+        assert_ne!(input_set_hash(&z), input_set_hash(&nz));
+        // Shape is content too (a 2x3 and a 3x2 of equal data differ).
+        let flat = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let tall = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        assert_ne!(input_set_hash(&flat), input_set_hash(&tall));
+    }
+
+    #[test]
+    fn hits_are_bitwise_and_counted() {
+        let net = net(3);
+        let plan = CompiledPlan::compile(&InjectionPlan::crash([(1, 2)]), &net, 1.0).unwrap();
+        let xs = points(0, 7);
+        let mut cache = CheckpointCache::new(2);
+        let mut scratch = BatchWorkspace::default();
+        let cold = cache.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+        let warm = cache.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+        for (c, w) in cold[0].iter().zip(&warm[0]) {
+            assert_eq!(c.to_bits(), w.to_bits());
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.nominal_rows_saved, (net.depth() * 7) as u64);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn distinct_nets_and_inputs_do_not_collide() {
+        let net_a = net(1);
+        let net_b = net(2);
+        let xs = points(0, 4);
+        let mut cache = CheckpointCache::new(4);
+        assert!(!cache.checkpoint(&net_a, &xs).hit);
+        assert!(!cache.checkpoint(&net_b, &xs).hit, "net identity is key");
+        assert!(!cache.checkpoint(&net_a, &points(9, 4)).hit);
+        assert!(cache.checkpoint(&net_a, &xs).hit);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn lru_eviction_is_value_transparent() {
+        let net = net(4);
+        let plan = CompiledPlan::compile(&InjectionPlan::crash([(0, 0)]), &net, 1.0).unwrap();
+        let (a, b) = (points(0, 5), points(1, 5));
+        let mut scratch = BatchWorkspace::default();
+        let mut ws = BatchWorkspace::default();
+        let direct_a = plan.output_error_batch(&net, &a, &mut ws);
+        let direct_b = plan.output_error_batch(&net, &b, &mut ws);
+        // Capacity 1: alternating sets evicts on every switch, yet every
+        // answer stays bitwise the cold path.
+        let mut cache = CheckpointCache::new(1);
+        for _ in 0..3 {
+            for (xs, direct) in [(&a, &direct_a), (&b, &direct_b)] {
+                let got =
+                    cache.output_error_many(&net, xs, std::slice::from_ref(&plan), &mut scratch);
+                for (g, d) in got[0].iter().zip(direct) {
+                    assert_eq!(g.to_bits(), d.to_bits());
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 0, "capacity 1 + alternation = no reuse");
+        assert_eq!(stats.evictions, 5);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn empty_input_sets_are_cacheable() {
+        let net = net(5);
+        let xs = Matrix::zeros(0, 2);
+        let mut cache = CheckpointCache::new(2);
+        assert!(!cache.checkpoint(&net, &xs).hit);
+        let ck = cache.checkpoint(&net, &xs);
+        assert!(ck.hit);
+        assert!(ck.nominal_y.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = CheckpointCache::new(0);
+    }
+}

@@ -338,6 +338,41 @@ impl CompiledPlan {
         }
         errors
     }
+
+    /// [`CompiledPlan::output_error_resumed`] against an **existing**
+    /// nominal checkpoint: the caller supplies the taps (`ws_nominal`)
+    /// and nominal outputs (`nominal_y`) a previous nominal pass over
+    /// `(net, xs)` produced — from a
+    /// [`CheckpointCache`](crate::CheckpointCache) entry, a
+    /// [`MultiPlanEvaluator`](crate::MultiPlanEvaluator), or a streaming
+    /// chunk — and only the faulty suffix runs. Bitwise equal to
+    /// [`CompiledPlan::output_error_batch`] under the usual checkpoint
+    /// validity rules (the checkpoint must come from a nominal pass over
+    /// exactly this `(net, xs)`).
+    ///
+    /// # Panics
+    /// If the checkpoint does not match `(net, xs)` in shape, or
+    /// `nominal_y.len() != xs.rows()`.
+    pub fn output_error_checkpointed(
+        &self,
+        net: &Mlp,
+        xs: &Matrix,
+        ws_nominal: &BatchWorkspace,
+        nominal_y: &[f64],
+        ws_scratch: &mut BatchWorkspace,
+    ) -> Vec<f64> {
+        assert_eq!(
+            nominal_y.len(),
+            xs.rows(),
+            "output_error_checkpointed: nominal_y/input row mismatch"
+        );
+        let from = self.first_faulty_layer();
+        let mut errors = self.resume_batch_checkpointed(net, xs, ws_nominal, ws_scratch, from);
+        for (e, &nom) in errors.iter_mut().zip(nominal_y) {
+            *e = (nom - *e).abs();
+        }
+        errors
+    }
 }
 
 impl CompiledPlan {

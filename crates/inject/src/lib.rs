@@ -26,10 +26,18 @@
 //! * [`registry`] — long-lived sets of `(network, compiled plan)` pairs
 //!   addressed by dense [`registry::PlanId`]s, the plan-sharding substrate
 //!   of the serving engine (`neurofail-serve`).
+//! * [`cache`] / [`streaming`] — the **input-incremental engine**: a
+//!   content-addressed LRU cache of nominal checkpoints
+//!   ([`cache::CheckpointCache`]) so repeated evaluations over the same
+//!   input set skip even the one nominal pass, and a
+//!   [`streaming::StreamingEvaluator`] that certifies a fixed plan family
+//!   against inputs arriving in chunks — new work proportional to
+//!   (new inputs × suffix layers), never (all inputs × all layers).
 
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod cache;
 pub mod campaign;
 pub mod executor;
 pub mod exhaustive;
@@ -38,10 +46,13 @@ pub mod multi;
 pub mod plan;
 pub mod registry;
 pub mod sampler;
+pub mod streaming;
 
+pub use cache::{input_set_hash, CacheStats, CachedCheckpoint, CheckpointCache};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
 pub use executor::{CompiledPlan, PlanError};
 pub use multi::{output_error_many, MultiPlanEvaluator};
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
 pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;
+pub use streaming::{StreamStats, StreamingEvaluator};

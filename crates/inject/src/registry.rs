@@ -167,6 +167,29 @@ impl PlanRegistry {
         self.entries
     }
 
+    /// Group `ids` positions by the network they share (`Arc` identity),
+    /// preserving first-seen order — the shared front half of
+    /// [`PlanRegistry::eval_many`] and [`PlanRegistry::eval_many_cached`].
+    ///
+    /// # Panics
+    /// If any id is unregistered.
+    fn group_by_net(&self, ids: &[PlanId]) -> Vec<(&Arc<Mlp>, Vec<usize>)> {
+        let mut groups: Vec<(&Arc<Mlp>, Vec<usize>)> = Vec::new();
+        for (pos, id) in ids.iter().enumerate() {
+            let entry = self
+                .get(*id)
+                .unwrap_or_else(|| panic!("eval_many: no registered {id}"));
+            match groups
+                .iter_mut()
+                .find(|(net, _)| Arc::ptr_eq(net, &entry.net))
+            {
+                Some((_, positions)) => positions.push(pos),
+                None => groups.push((&entry.net, vec![pos])),
+            }
+        }
+        groups
+    }
+
     /// Evaluate many registered plans over one shared input set through
     /// the multi-plan suffix engine: plans are grouped by the network
     /// they share (`Arc` identity), each group pays **one** nominal pass,
@@ -185,25 +208,47 @@ impl PlanRegistry {
     /// plan's network.
     pub fn eval_many(&self, ids: &[PlanId], xs: &Matrix) -> Vec<Vec<f64>> {
         let mut results: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
-        // Group positions by net identity, preserving first-seen order.
-        let mut groups: Vec<(&Arc<Mlp>, Vec<usize>)> = Vec::new();
-        for (pos, id) in ids.iter().enumerate() {
-            let entry = self
-                .get(*id)
-                .unwrap_or_else(|| panic!("eval_many: no registered {id}"));
-            match groups
-                .iter_mut()
-                .find(|(net, _)| Arc::ptr_eq(net, &entry.net))
-            {
-                Some((_, positions)) => positions.push(pos),
-                None => groups.push((&entry.net, vec![pos])),
-            }
-        }
-        for (net, positions) in groups {
+        for (net, positions) in self.group_by_net(ids) {
             let mut eval = crate::multi::MultiPlanEvaluator::new(net, xs);
             for pos in positions {
                 let entry = self.get(ids[pos]).expect("validated above");
                 results[pos] = eval.output_error(entry.compiled());
+            }
+        }
+        results
+    }
+
+    /// [`PlanRegistry::eval_many`] through a
+    /// [`CheckpointCache`](crate::CheckpointCache): per net group the
+    /// nominal checkpoint is looked up by `(net identity, input-set
+    /// content hash)` — so a registry re-evaluated over an input set it
+    /// has seen before (repeated tolerance searches, periodic
+    /// re-certification sweeps) skips even the one nominal pass per
+    /// group. Results are **bitwise** identical to
+    /// [`PlanRegistry::eval_many`]; `scratch` absorbs the suffix
+    /// recomputation.
+    ///
+    /// # Panics
+    /// As [`PlanRegistry::eval_many`].
+    pub fn eval_many_cached(
+        &self,
+        ids: &[PlanId],
+        xs: &Matrix,
+        cache: &mut crate::CheckpointCache,
+        scratch: &mut BatchWorkspace,
+    ) -> Vec<Vec<f64>> {
+        let mut results: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
+        for (net, positions) in self.group_by_net(ids) {
+            let ck = cache.checkpoint(net, xs);
+            for pos in positions {
+                let entry = self.get(ids[pos]).expect("validated above");
+                results[pos] = entry.compiled().output_error_checkpointed(
+                    net,
+                    xs,
+                    ck.ws,
+                    ck.nominal_y,
+                    scratch,
+                );
             }
         }
         results
@@ -315,6 +360,51 @@ mod tests {
                 assert_eq!(g.to_bits(), d.to_bits(), "{id}");
             }
         }
+    }
+
+    #[test]
+    fn eval_many_cached_is_bitwise_and_hits_on_reuse() {
+        let net_a = net();
+        let net_b = Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![0.5, -0.25, 1.0, 0.75]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![2.0, -1.0],
+            0.1,
+        ));
+        let mut reg = PlanRegistry::new();
+        let a0 = reg
+            .register(Arc::clone(&net_a), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        let b0 = reg
+            .register(Arc::clone(&net_b), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        let a1 = reg
+            .register(Arc::clone(&net_a), &InjectionPlan::none(), 1.0)
+            .unwrap();
+        let xs = Matrix::from_vec(3, 2, vec![0.5, 0.25, -0.4, 0.9, 0.0, 1.0]);
+        let ids = [a0, b0, a1];
+        let reference = reg.eval_many(&ids, &xs);
+        let mut cache = crate::CheckpointCache::new(4);
+        let mut scratch = BatchWorkspace::default();
+        // Cold call: one miss per net group; warm call: one hit per group
+        // — and both are bitwise the uncached engine.
+        for (round, expected_hits) in [(0u32, 0u64), (1, 2)] {
+            let got = reg.eval_many_cached(&ids, &xs, &mut cache, &mut scratch);
+            for (pi, (g, r)) in got.iter().zip(&reference).enumerate() {
+                for (b, (gv, rv)) in g.iter().zip(r).enumerate() {
+                    assert_eq!(
+                        gv.to_bits(),
+                        rv.to_bits(),
+                        "round {round}, plan {pi}, row {b}"
+                    );
+                }
+            }
+            assert_eq!(cache.stats().hits, expected_hits);
+        }
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -260,6 +260,33 @@ impl BatchWorkspace {
         }
     }
 
+    /// Splice another workspace's rows under this one's, layer by layer —
+    /// the checkpoint-append primitive of the input-incremental engine.
+    /// `other` must be shaped for the same network (same layer count and
+    /// widths); its per-layer sum/output rows land below the rows already
+    /// held here, and the batch size grows accordingly.
+    ///
+    /// By the batched engine's per-row independence, a checkpoint grown
+    /// this way from per-chunk nominal passes is **bitwise identical** to
+    /// one filled by a single full-batch pass over the concatenated
+    /// inputs — which is what makes checkpoints appendable at all (see
+    /// [`Mlp::extend_batch`]).
+    ///
+    /// # Panics
+    /// If the layer counts or widths differ.
+    pub fn append_from(&mut self, other: &BatchWorkspace) {
+        assert_eq!(
+            self.sums.len(),
+            other.sums.len(),
+            "append_from: layer count mismatch"
+        );
+        for l in 0..self.sums.len() {
+            self.sums[l].append_rows(&other.sums[l]);
+            self.outs[l].append_rows(&other.outs[l]);
+        }
+        self.batch += other.batch;
+    }
+
     /// Whether the buffers match `(net, batch)`.
     fn fits(&self, net: &Mlp, batch: usize) -> bool {
         self.batch == batch
@@ -587,6 +614,76 @@ impl Mlp {
             tap,
             from_layer,
         )
+    }
+
+    /// Grow a batched checkpoint **in place** by only the new input rows:
+    /// run the (tapped) forward pass over `new_rows` alone, splice the
+    /// resulting per-layer sums/outputs under the rows `ws` already holds,
+    /// and return the new rows' outputs.
+    ///
+    /// This is the input-incremental transpose of the suffix engine's
+    /// plan-incremental sharing: where [`Mlp::resume_batch_from`] reuses a
+    /// checkpoint across *plans*, `extend_batch` reuses it across *input
+    /// arrivals* — a stream of chunks pays one pass per chunk over just
+    /// that chunk, never a fresh pass over everything seen so far.
+    ///
+    /// Bitwise contract: because each output row of a batched pass is a
+    /// pure function of `(row, net)` — independent of batch size and of
+    /// every other row (determinism contract 1) — the grown workspace and
+    /// returned outputs are **bitwise identical** to recomputing the full
+    /// concatenated batch from scratch (`tests/incremental_equivalence.rs`
+    /// asserts this across chunkings, fault kinds and `Parallelism`
+    /// policies).
+    ///
+    /// `ws` must either hold a previous pass over this network (any batch
+    /// size, 0 included) or be default-constructed (treated as an empty
+    /// checkpoint). The scratch-taking variant is
+    /// [`Mlp::extend_batch_with`]; this convenience allocates a fresh
+    /// scratch per call.
+    ///
+    /// # Panics
+    /// If `new_rows.cols() != input_dim()` or `ws` holds a pass over a
+    /// different network shape.
+    pub fn extend_batch(
+        &self,
+        ws: &mut BatchWorkspace,
+        tap: &mut impl BatchTap,
+        new_rows: &Matrix,
+    ) -> Vec<f64> {
+        let mut scratch = BatchWorkspace::default();
+        self.extend_batch_with(ws, &mut scratch, tap, new_rows)
+    }
+
+    /// [`Mlp::extend_batch`] with a caller-provided scratch workspace —
+    /// allocation-free once the scratch has grown to the largest chunk
+    /// seen, the shape streaming loops want. After the call, `scratch`
+    /// holds the *chunk's* nominal taps (a valid checkpoint over
+    /// `new_rows` alone), which lets a streaming evaluator resume per-plan
+    /// faulty suffixes for the chunk without copying rows back out of the
+    /// grown checkpoint.
+    pub fn extend_batch_with(
+        &self,
+        ws: &mut BatchWorkspace,
+        scratch: &mut BatchWorkspace,
+        tap: &mut impl BatchTap,
+        new_rows: &Matrix,
+    ) -> Vec<f64> {
+        assert_eq!(
+            new_rows.cols(),
+            self.input_dim(),
+            "extend_batch: input dimension mismatch"
+        );
+        let held = ws.batch;
+        if !ws.fits(self, held) {
+            assert_eq!(
+                held, 0,
+                "extend_batch: checkpoint workspace does not match the network"
+            );
+            ws.reshape(self, 0);
+        }
+        let ys = self.resume_batch_from(new_rows, scratch, tap, 0);
+        ws.append_from(scratch);
+        ys
     }
 
     /// Batched forward pass without taps: `B` inputs → `B` outputs.
@@ -1177,6 +1274,71 @@ mod tests {
         let _ = net.forward_batch(&xs, &mut nominal);
         let mut scratch = BatchWorkspace::default();
         let _ = net.resume_batch_tapped(&xs, &nominal, &mut scratch, &mut NoBatchTap, 3);
+    }
+
+    #[test]
+    fn extend_batch_is_bitwise_a_full_recompute() {
+        let mut net = linear_net();
+        for l in net.layers_mut() {
+            if let Layer::Dense(d) = l {
+                d.activation = Activation::Sigmoid { k: 1.2 };
+            }
+        }
+        let xs = Matrix::from_fn(7, 2, |r, c| 0.19 * r as f64 - 0.5 + 0.07 * c as f64);
+        let mut full_ws = BatchWorkspace::for_net(&net, 7);
+        let full = net.forward_batch(&xs, &mut full_ws);
+        // Grow the checkpoint chunk by chunk (sizes 3, 0, 1, 3).
+        let mut ws = BatchWorkspace::default();
+        let mut scratch = BatchWorkspace::default();
+        let mut ys = Vec::new();
+        let mut start = 0;
+        for chunk_rows in [3usize, 0, 1, 3] {
+            let chunk = Matrix::from_fn(chunk_rows, 2, |r, c| xs.get(start + r, c));
+            ys.extend(net.extend_batch_with(&mut ws, &mut scratch, &mut NoBatchTap, &chunk));
+            start += chunk_rows;
+        }
+        assert_eq!(ws.batch(), 7);
+        for (b, (&a, &e)) in full.iter().zip(&ys).enumerate() {
+            assert_eq!(a.to_bits(), e.to_bits(), "row {b}");
+        }
+        for l in 0..net.depth() {
+            assert_eq!(ws.sums[l], full_ws.sums[l], "layer {l} sums");
+            assert_eq!(ws.outs[l], full_ws.outs[l], "layer {l} outs");
+        }
+        // The grown workspace is a valid checkpoint: resuming from it at
+        // any split reproduces the full pass bitwise.
+        for from in 0..=net.depth() {
+            let resumed = net.resume_batch_tapped(&xs, &ws, &mut scratch, &mut NoBatchTap, from);
+            for (b, (&a, &r)) in full.iter().zip(&resumed).enumerate() {
+                assert_eq!(a.to_bits(), r.to_bits(), "split {from}, row {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_batch_interposes_taps_on_new_rows_only() {
+        let net = linear_net();
+        let xs = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.5, 0.5]);
+        let mut tapped_ws = BatchWorkspace::default();
+        let expected =
+            net.forward_batch_tapped(&xs, &mut tapped_ws, &mut BatchCrashFirst { layer: 0 });
+        let mut ws = BatchWorkspace::default();
+        let mut got = Vec::new();
+        for b in 0..2 {
+            let chunk = Matrix::from_vec(1, 2, xs.row(b).to_vec());
+            got.extend(net.extend_batch(&mut ws, &mut BatchCrashFirst { layer: 0 }, &chunk));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the network")]
+    fn extend_batch_rejects_a_foreign_checkpoint() {
+        let net = linear_net();
+        let wide = net.replicate(2);
+        let mut ws = BatchWorkspace::for_net(&wide, 3);
+        let _ = wide.forward_batch(&Matrix::zeros(3, 2), &mut ws);
+        let _ = net.extend_batch(&mut ws, &mut NoBatchTap, &Matrix::zeros(1, 2));
     }
 
     #[test]

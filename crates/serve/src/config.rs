@@ -48,6 +48,20 @@ pub struct ServeConfig {
     /// [`ServeStats::nominal_rows_saved`](crate::ServeStats). Off by
     /// default (per-plan shards, PR 3's layout).
     pub coalesce_plans: bool,
+    /// Streaming-ingest mode: each shard worker keeps its previous
+    /// flush's nominal checkpoint and, when the next flush's staged rows
+    /// **start with** the previous flush's rows bitwise (the shape of
+    /// streaming re-certification traffic: clients resubmit a probe set
+    /// plus newly arrived inputs, in order), *extends* the checkpoint
+    /// with only the new suffix rows instead of rerunning the nominal
+    /// pass over everything — an identical flush reuses it outright.
+    /// Served values stay bitwise identical (the appendable-checkpoint
+    /// contract of `Mlp::extend_batch`); reuse is reported as
+    /// [`ServeStats::checkpoint_hits`](crate::ServeStats) /
+    /// [`ServeStats::checkpoint_rows_reused`](crate::ServeStats). Off by
+    /// default: the per-flush prefix comparison only pays for itself
+    /// under prefix-sharing traffic.
+    pub streaming_ingest: bool,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +73,7 @@ impl Default for ServeConfig {
             workers: Parallelism::Sequential,
             record_log: false,
             coalesce_plans: false,
+            streaming_ingest: false,
         }
     }
 }

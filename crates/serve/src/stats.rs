@@ -48,6 +48,8 @@ pub(crate) struct ShardStats {
     flushes: AtomicU64,
     rows: AtomicU64,
     nominal_rows_saved: AtomicU64,
+    checkpoint_hits: AtomicU64,
+    checkpoint_rows_reused: AtomicU64,
     hist: [AtomicU64; BATCH_BUCKETS],
     max_queue_depth: AtomicUsize,
     latencies: Mutex<Reservoir>,
@@ -77,12 +79,27 @@ impl ShardStats {
 
     /// A worker flushed a batch of `rows` rows whose per-request latencies
     /// are `latencies_ns`; `nominal_rows_saved` is the layer-rows of
-    /// faulty-prefix recomputation the suffix engine skipped in the flush.
-    pub(crate) fn on_flush(&self, rows: usize, latencies_ns: &[u64], nominal_rows_saved: u64) {
+    /// faulty-prefix recomputation the suffix engine skipped in the flush,
+    /// and `checkpoint_rows_reused` the layer-rows of **nominal**
+    /// recomputation streaming ingest served from the previous flush's
+    /// checkpoint (`checkpoint_hit` marks the flush as having reused one).
+    pub(crate) fn on_flush(
+        &self,
+        rows: usize,
+        latencies_ns: &[u64],
+        nominal_rows_saved: u64,
+        checkpoint_hit: bool,
+        checkpoint_rows_reused: u64,
+    ) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.rows.fetch_add(rows as u64, Ordering::Relaxed);
         self.nominal_rows_saved
             .fetch_add(nominal_rows_saved, Ordering::Relaxed);
+        if checkpoint_hit {
+            self.checkpoint_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.checkpoint_rows_reused
+            .fetch_add(checkpoint_rows_reused, Ordering::Relaxed);
         self.hist[bucket_of(rows)].fetch_add(1, Ordering::Relaxed);
         let mut res = self.latencies.lock();
         for &ns in latencies_ns {
@@ -120,6 +137,8 @@ impl ShardStats {
             flushes,
             rows_served: rows,
             nominal_rows_saved: self.nominal_rows_saved.load(Ordering::Relaxed),
+            checkpoint_hits: self.checkpoint_hits.load(Ordering::Relaxed),
+            checkpoint_rows_reused: self.checkpoint_rows_reused.load(Ordering::Relaxed),
             mean_batch: if flushes == 0 {
                 0.0
             } else {
@@ -153,6 +172,16 @@ pub struct ServeStats {
     /// this is the work cross-plan coalescing and suffix resumption
     /// eliminate (0 under fault plans that start at layer 0).
     pub nominal_rows_saved: u64,
+    /// Flushes that reused (or extended) the previous flush's nominal
+    /// checkpoint under [`streaming_ingest`](crate::ServeConfig) — the
+    /// staged rows started bitwise with the previous flush's rows, so
+    /// the nominal pass ran only over the new suffix rows (not at all
+    /// for an identical flush). Always 0 with streaming ingest off.
+    pub checkpoint_hits: u64,
+    /// Layer-rows of **nominal** recomputation those checkpoint hits
+    /// skipped: a hit whose reused prefix spans `P` rows through an
+    /// `L`-layer network banks `P · L`.
+    pub checkpoint_rows_reused: u64,
     /// Mean rows per flush — the coalescing factor actually achieved.
     pub mean_batch: f64,
     /// Flush-size histogram over the [`BATCH_BUCKET_LABELS`] buckets.
@@ -189,14 +218,16 @@ mod tests {
         s.on_submit(3);
         s.on_submit(5);
         s.on_reject();
-        s.on_flush(2, &[1_000, 3_000], 4);
-        s.on_flush(1, &[2_000], 3);
+        s.on_flush(2, &[1_000, 3_000], 4, false, 0);
+        s.on_flush(1, &[2_000], 3, true, 6);
         let snap = s.snapshot(7);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.flushes, 2);
         assert_eq!(snap.rows_served, 3);
         assert_eq!(snap.nominal_rows_saved, 7);
+        assert_eq!(snap.checkpoint_hits, 1);
+        assert_eq!(snap.checkpoint_rows_reused, 6);
         assert!((snap.mean_batch - 1.5).abs() < 1e-12);
         assert_eq!(snap.batch_hist[0], 1);
         assert_eq!(snap.batch_hist[1], 1);
@@ -210,7 +241,7 @@ mod tests {
     fn reservoir_wraps_at_capacity() {
         let s = ShardStats::default();
         let ns: Vec<u64> = (0..RESERVOIR as u64 + 100).collect();
-        s.on_flush(ns.len(), &ns, 0);
+        s.on_flush(ns.len(), &ns, 0, false, 0);
         let snap = s.snapshot(0);
         // The 100 oldest samples were overwritten by the wrap, so the kept
         // set is exactly {100, …, RESERVOIR+99} and the median shifts by

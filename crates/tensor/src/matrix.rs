@@ -71,6 +71,30 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Append every row of `other` below the existing rows, preserving the
+    /// current contents (unlike [`Matrix::resize`], which zero-fills).
+    ///
+    /// This is the growth primitive behind *appendable* batch checkpoints:
+    /// an input-incremental pipeline computes only the new rows and splices
+    /// them under the rows already checkpointed. Appending to an empty
+    /// `0 × 0` matrix adopts `other`'s column count, so default-constructed
+    /// buffers can be grown without a prior reshape.
+    ///
+    /// # Panics
+    /// If the column counts differ (and `self` is not `0 × 0`).
+    pub fn append_rows(&mut self, other: &Matrix) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        assert_eq!(
+            self.cols, other.cols,
+            "append_rows: column mismatch {} vs {}",
+            self.cols, other.cols
+        );
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
@@ -486,6 +510,29 @@ mod tests {
     fn gemv_matches_hand_computation() {
         let y = small().gemv(&[1.0, 0.0, -1.0]);
         assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn append_rows_preserves_existing_content() {
+        let mut m = small();
+        m.append_rows(&Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]));
+        assert_eq!((m.rows(), m.cols()), (3, 3));
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(2), &[7.0, 8.0, 9.0]);
+        // Appending an empty block is a no-op; an empty 0×0 target adopts
+        // the source's column count.
+        m.append_rows(&Matrix::zeros(0, 3));
+        assert_eq!(m.rows(), 3);
+        let mut fresh = Matrix::zeros(0, 0);
+        fresh.append_rows(&m);
+        assert_eq!(fresh, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn append_rows_rejects_column_mismatch() {
+        let mut m = small();
+        m.append_rows(&Matrix::zeros(1, 2));
     }
 
     #[test]

@@ -93,6 +93,7 @@ proptest! {
         policy_idx in 0usize..3,
         clients in 1usize..5,
         coalesce_plans in proptest::bool::ANY,
+        streaming_ingest in proptest::bool::ANY,
     ) {
         let net = Arc::new(build_net(seed, depth, width));
         let registry = build_registry(Arc::clone(&net), seed);
@@ -106,6 +107,10 @@ proptest! {
             // one shared-net shard whose flushes mix plans — the suffix
             // engine must stay bitwise-invisible there too.
             coalesce_plans,
+            // Streaming ingest must also be bitwise-invisible: arbitrary
+            // traffic rarely prefix-matches, but when it does the reused
+            // checkpoint must not change a single served bit.
+            streaming_ingest,
         };
         let server = CertServer::start(&registry, cfg);
         if coalesce_plans {
@@ -179,6 +184,7 @@ proptest! {
             workers: [Parallelism::Sequential, Parallelism::Threads(2), Parallelism::Threads(4)][policy_idx],
             record_log: false,
             coalesce_plans: false,
+            streaming_ingest: false,
         });
         let mix = request_mix(seed, 60, registry.len());
         let pending: Vec<_> = mix

@@ -268,6 +268,60 @@ proptest! {
     }
 }
 
+/// The degenerate split: a plan faulting layer 0 has an **empty** shared
+/// prefix, so its only admissible resume is `from = 0` — which must
+/// degrade to exactly the full pass. With no tap at all, `resume_batch_from`
+/// at 0 must *be* `forward_batch`, bitwise, checkpoint untouched.
+#[test]
+fn resume_from_zero_degrades_to_forward_batch() {
+    for (seed, depth, width) in [(11u64, 1usize, 5usize), (12, 3, 6), (13, 4, 4)] {
+        let net = build_net(seed, depth, width, seed % 2 == 0, true);
+        let xs = random_inputs(seed, 6, 3);
+        let mut nominal = BatchWorkspace::for_net(&net, 6);
+        let full = net.forward_batch(&xs, &mut nominal);
+
+        // Tapless resume at 0 is forward_batch, bit for bit.
+        let mut scratch = BatchWorkspace::default();
+        let resumed = net.resume_batch_from(&xs, &mut scratch, &mut neurofail::nn::NoBatchTap, 0);
+        for (b, (&f, &r)) in full.iter().zip(&resumed).enumerate() {
+            assert_eq!(f.to_bits(), r.to_bits(), "row {b}");
+        }
+
+        // A layer-0-faulted plan (first_faulty_layer == 0): the suffix
+        // engine's resume covers the whole pass, and both the direct
+        // resume and the checkpoint-borrowing convenience agree bitwise
+        // with the full faulty pass.
+        let plan = CompiledPlan::compile(&InjectionPlan::crash([(0, 1)]), &net, 1.0).unwrap();
+        assert_eq!(plan.first_faulty_layer(), 0, "empty shared prefix");
+        let mut full_ws = BatchWorkspace::default();
+        let faulty_full = plan.run_batch(&net, &xs, &mut full_ws);
+        let faulty_resumed = plan.resume_batch_from(&net, &xs, &mut scratch, 0);
+        let faulty_checkpointed =
+            plan.resume_batch_checkpointed(&net, &xs, &nominal, &mut scratch, 0);
+        for (b, ((&f, &r), &c)) in faulty_full
+            .iter()
+            .zip(&faulty_resumed)
+            .zip(&faulty_checkpointed)
+            .enumerate()
+        {
+            assert_eq!(f.to_bits(), r.to_bits(), "resume row {b}");
+            assert_eq!(f.to_bits(), c.to_bits(), "checkpointed row {b}");
+        }
+
+        // The checkpoint was only read: it still replays the nominal pass.
+        let replay = net.resume_batch_tapped(
+            &xs,
+            &nominal,
+            &mut scratch,
+            &mut neurofail::nn::NoBatchTap,
+            depth,
+        );
+        for (b, (&f, &r)) in full.iter().zip(&replay).enumerate() {
+            assert_eq!(f.to_bits(), r.to_bits(), "checkpoint intact, row {b}");
+        }
+    }
+}
+
 /// The exhaustive sweep is bit-identical to the pre-refactor cost model:
 /// one nominal batch + a **full** faulty pass per subset, worst tracked in
 /// the same iteration order.
