@@ -1,0 +1,89 @@
+//! Criterion: the compute-backend GEMM microkernels head to head —
+//! `matmul_nt` / `matmul_tn_acc` square problems per backend
+//! (`backend_matmul/*`), and the batched im2col Conv1d lowering against
+//! the per-row loop it replaced (`conv_lowering/*`). Backends that
+//! runtime detection rules out on the host are skipped, so the report
+//! only ever contains kernels that actually ran.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurofail_nn::activation::Activation;
+use neurofail_nn::conv::{Conv1dBatchScratch, Conv1dLayer};
+use neurofail_tensor::backend;
+use neurofail_tensor::init::Init;
+use neurofail_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn mat(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0))
+}
+
+fn bench_backend_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_matmul");
+    for n in [64usize, 128, 256] {
+        let a = mat(1, n, n);
+        let w = mat(2, n, n);
+        let mut out = Matrix::zeros(n, n);
+        for kind in backend::supported_kinds() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("nt_{}", kind.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        backend::with_backend(kind, || {
+                            black_box(&a).matmul_nt_into(black_box(&w), &mut out)
+                        })
+                    })
+                },
+            );
+            // tn_acc accumulates; the += drift is irrelevant to timing.
+            group.bench_with_input(
+                BenchmarkId::new(format!("tn_acc_{}", kind.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        backend::with_backend(kind, || {
+                            black_box(&a).matmul_tn_acc_into(black_box(&w), &mut out)
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_lowering");
+    let mut rng = SmallRng::seed_from_u64(7);
+    for (in_len, channels, width, batch) in [(64usize, 4usize, 7usize, 32usize), (128, 8, 9, 64)] {
+        let conv = Conv1dLayer::random(
+            in_len,
+            channels,
+            width,
+            Activation::Sigmoid { k: 1.0 },
+            Init::Xavier,
+            true,
+            &mut rng,
+        );
+        let xs = mat(9, batch, in_len);
+        let mut sums = Matrix::zeros(batch, conv.out_dim());
+        let mut scratch = Conv1dBatchScratch::default();
+        let tag = format!("in{in_len}_c{channels}_w{width}_b{batch}");
+        group.bench_with_input(BenchmarkId::new("im2col", &tag), &tag, |b, _| {
+            b.iter(|| conv.forward_batch_sums(black_box(&xs), &mut sums, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("per_row", &tag), &tag, |b, _| {
+            b.iter(|| {
+                for r in 0..batch {
+                    conv.sums_into(black_box(xs.row(r)), sums.row_mut(r));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_matmul, bench_conv_lowering);
+criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Machine-readable performance snapshot: one JSON file
-//! (`BENCH_PR5.json`) covering the workspace's five engine hot paths —
+//! (`BENCH_PR6.json`) covering the workspace's engine hot paths —
 //! campaign evaluation, training epochs, serve throughput, multi-plan
-//! evaluation and streaming input-incremental evaluation — so the perf
+//! evaluation, streaming input-incremental evaluation, plus per-backend
+//! GEMM and the im2col-vs-per-row Conv1d lowering — so the perf
 //! trajectory is tracked across PRs by diffable numbers rather than
-//! prose.
+//! prose. The snapshot records which compute backend served the run and
+//! the CPU features detection saw, so numbers are only compared across
+//! like machines.
 //!
 //! Usage:
 //!
@@ -33,6 +36,7 @@ use neurofail_nn::train::{train, TrainConfig};
 use neurofail_nn::{BatchWorkspace, Mlp};
 use neurofail_par::Parallelism;
 use neurofail_serve::{CertServer, ServeConfig};
+use neurofail_tensor::backend;
 use neurofail_tensor::init::Init;
 use neurofail_tensor::Matrix;
 use serde::Serialize;
@@ -59,6 +63,11 @@ struct Snapshot {
     schema: String,
     /// `"full"` or `"smoke"`.
     mode: String,
+    /// The compute backend the engine metrics ran under
+    /// ([`backend::active_kind`] at startup — env override included).
+    backend: String,
+    /// CPU features runtime detection saw on this machine.
+    cpu_features: Vec<String>,
     /// Measured metrics.
     metrics: Vec<Metric>,
 }
@@ -312,6 +321,90 @@ fn streaming_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
     ]
 }
 
+/// Square `out = A·Wᵀ` under every supported compute backend: the raw
+/// kernel number behind every engine metric above. Units are fused
+/// multiply-adds (`m·n·k`).
+fn gemm_backend_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
+    let n = if smoke { 64 } else { 192 };
+    let mut r = rng(0x6E);
+    let a = Matrix::from_fn(n, n, |_, _| rand::Rng::gen_range(&mut r, -1.0..=1.0));
+    let w = Matrix::from_fn(n, n, |_, _| rand::Rng::gen_range(&mut r, -1.0..=1.0));
+    let mut out = Matrix::zeros(n, n);
+    let units = (n * n * n) as u64;
+    backend::supported_kinds()
+        .into_iter()
+        .map(|kind| {
+            let seconds = best_of(reps.max(3), || {
+                backend::with_backend(kind, || a.matmul_nt_into(&w, &mut out));
+                out.get(0, 0)
+            });
+            Metric {
+                name: format!("gemm_nt_{}", kind.name()),
+                workload: format!("{n}x{n} matmul_nt, {} backend", kind.name()),
+                seconds,
+                units,
+                throughput: units as f64 / seconds,
+            }
+        })
+        .collect()
+}
+
+/// Batched Conv1d forward: the im2col single-GEMM lowering against the
+/// per-row `sums_into` loop it replaced, under the active backend.
+fn conv_lowering_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
+    use neurofail_nn::conv::{Conv1dBatchScratch, Conv1dLayer};
+    let (in_len, channels, width, batch) = if smoke {
+        (48, 4, 7, 16)
+    } else {
+        (128, 8, 9, 64)
+    };
+    let mut r = rng(0x6F);
+    let conv = Conv1dLayer::random(
+        in_len,
+        channels,
+        width,
+        Activation::Sigmoid { k: 1.0 },
+        Init::Xavier,
+        true,
+        &mut r,
+    );
+    let xs = Matrix::from_fn(batch, in_len, |_, _| {
+        rand::Rng::gen_range(&mut r, -1.0..=1.0)
+    });
+    let out_dim = conv.out_dim();
+    let units = (batch * out_dim * width) as u64;
+    let workload = format!("Conv1d in{in_len} c{channels} w{width} x {batch} rows");
+
+    let mut sums = Matrix::zeros(batch, out_dim);
+    let mut scratch = Conv1dBatchScratch::default();
+    let im2col = best_of(reps.max(3), || {
+        conv.forward_batch_sums(&xs, &mut sums, &mut scratch);
+        sums.get(0, 0)
+    });
+    let per_row = best_of(reps.max(3), || {
+        for b in 0..batch {
+            conv.sums_into(xs.row(b), sums.row_mut(b));
+        }
+        sums.get(0, 0)
+    });
+    vec![
+        Metric {
+            name: "conv_im2col".into(),
+            workload: workload.clone(),
+            seconds: im2col,
+            units,
+            throughput: units as f64 / im2col,
+        },
+        Metric {
+            name: "conv_per_row".into(),
+            workload,
+            seconds: per_row,
+            units,
+            throughput: units as f64 / per_row,
+        },
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -319,7 +412,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let reps = if smoke { 1 } else { 3 };
 
     let mut metrics = vec![
@@ -329,10 +422,17 @@ fn main() {
     ];
     metrics.extend(multi_plan_metrics(smoke, reps));
     metrics.extend(streaming_metrics(smoke, reps));
+    metrics.extend(gemm_backend_metrics(smoke, reps));
+    metrics.extend(conv_lowering_metrics(smoke, reps));
 
     let snapshot = Snapshot {
-        schema: "neurofail-perf/PR5".into(),
+        schema: "neurofail-perf/PR6".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
+        backend: backend::active_kind().name().to_string(),
+        cpu_features: backend::detected_features()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
         metrics,
     };
     let json = serde_json::to_string(&snapshot).expect("snapshot serialises");

@@ -8,30 +8,37 @@
 //! repeated campaigns re-certify fixed input sets, and
 //! [`PlanRegistry::eval_many`](crate::PlanRegistry::eval_many) calls
 //! arrive over long-lived input sets. [`CheckpointCache`] memoises the
-//! nominal checkpoint itself, keyed by **(network identity, input-set
-//! content hash)**: a hit returns the stored [`BatchWorkspace`] taps and
+//! nominal checkpoint itself, keyed by **(network content hash,
+//! input-set content hash)**: a hit returns the stored [`BatchWorkspace`] taps and
 //! nominal outputs, so the whole evaluation reduces to per-plan faulty
 //! suffixes.
 //!
 //! ## Key semantics and the determinism contract
 //!
-//! * **Network identity** is `Arc` pointer identity — the cache holds an
-//!   [`Arc<Mlp>`] per entry, so a cached network cannot be dropped (and
-//!   its address recycled) while its checkpoint lives. Mutating a network
-//!   through other handles is outside the contract, exactly as for the
+//! * **Network identity is content**, not address: [`net_content_hash`]
+//!   folds the topology (layer kinds, dimensions, activation tags and
+//!   gains) and every parameter's raw f64 bit pattern into the key, so
+//!   two `Arc<Mlp>` handles with bitwise-equal parameters share a
+//!   checkpoint — a deserialised or re-cloned network hits the entries
+//!   its original populated. A pointer-identity fast path
+//!   (`Arc::ptr_eq`) skips the parameter comparison in the common case;
+//!   when pointers differ, the hit is verified structurally and bitwise
+//!   (`net_content_eq`), so a recycled allocation address can never
+//!   alias a different network. Mutating a cached network in place
+//!   through `layers_mut` is outside the contract, exactly as for the
 //!   suffix engine's checkpoints.
-//! * **Content hash**: [`input_set_hash`] folds the dimensions and the
-//!   raw f64 *bit patterns* of the input matrix (FNV-1a over 64-bit
-//!   words, SplitMix64-finalised). Bitwise-equal input sets — the only
-//!   kind for which reusing a checkpoint is bitwise-sound — always
+//! * **Input-set content hash**: [`input_set_hash`] folds the dimensions
+//!   and the raw f64 *bit patterns* of the input matrix (FNV-1a over
+//!   64-bit words, SplitMix64-finalised). Bitwise-equal input sets — the
+//!   only kind for which reusing a checkpoint is bitwise-sound — always
 //!   collide onto the same key; numerically equal but bitwise distinct
 //!   sets (`-0.0` vs `0.0`) deliberately do not.
-//! * The hash is the *index*, not the proof: every entry stores its input
-//!   set and a hit additionally verifies it bitwise, so a 64-bit hash
-//!   collision degrades to a miss, never to a wrong checkpoint. Cached
-//!   results are therefore **bitwise** equal to cold-path evaluation, and
-//!   eviction can never change a value — only cost
-//!   (`tests/incremental_equivalence.rs`).
+//! * The hashes are the *index*, not the proof: every entry stores its
+//!   input set (and its network handle), and a hit additionally verifies
+//!   both bitwise, so a 64-bit hash collision degrades to a miss, never
+//!   to a wrong checkpoint. Cached results are therefore **bitwise**
+//!   equal to cold-path evaluation, and eviction can never change a
+//!   value — only cost (`tests/incremental_equivalence.rs`).
 //!
 //! Eviction is LRU over a fixed entry capacity; [`CacheStats`] reports
 //! hits, misses, evictions, resident bytes, and the layer-rows of nominal
@@ -39,11 +46,14 @@
 
 use std::sync::Arc;
 
-use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_nn::{BatchWorkspace, Layer, Mlp};
 use neurofail_par::seed::splitmix64;
 use neurofail_tensor::Matrix;
 
 use crate::executor::CompiledPlan;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Content hash of an input set: dimensions plus every element's raw bit
 /// pattern, folded FNV-1a-style over 64-bit words and finalised with
@@ -51,8 +61,6 @@ use crate::executor::CompiledPlan;
 /// hash equal, so bitwise-identical input sets address the same cache
 /// slot on any host and any run.
 pub fn input_set_hash(xs: &Matrix) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
     let mut mix = |v: u64| {
         h ^= v;
@@ -66,11 +74,122 @@ pub fn input_set_hash(xs: &Matrix) -> u64 {
     splitmix64(h)
 }
 
+/// Discriminant pair folded into [`net_content_hash`] for an activation:
+/// a variant tag plus the raw bits of its gain (0 for the gain-free
+/// variants). Bitwise-equal gains — the only kind for which forward
+/// passes agree bitwise — hash equal; `k = 1.0` vs `k = 1.0 + 1 ulp`
+/// deliberately do not.
+fn activation_key(a: neurofail_nn::Activation) -> (u64, u64) {
+    use neurofail_nn::Activation;
+    match a {
+        Activation::Sigmoid { k } => (1, k.to_bits()),
+        Activation::Tanh { k } => (2, k.to_bits()),
+        Activation::Relu => (3, 0),
+        Activation::Identity => (4, 0),
+    }
+}
+
+/// Content hash of a network: topology (layer kinds, dimensions,
+/// activation tags and gains) plus every parameter's raw f64 bit
+/// pattern, folded with the same FNV-1a / SplitMix64 scheme as
+/// [`input_set_hash`]. A pure function of the network's bits — two
+/// handles to bitwise-equal networks (clones, deserialised copies)
+/// hash equal on any host and any run, while a one-ulp parameter
+/// perturbation hashes apart.
+pub fn net_content_hash(net: &Mlp) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    mix(net.input_dim() as u64);
+    mix(net.depth() as u64);
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                mix(0);
+                let (tag, k) = activation_key(d.activation());
+                mix(tag);
+                mix(k);
+                mix(d.weights().rows() as u64);
+                mix(d.weights().cols() as u64);
+                for &w in d.weights().data() {
+                    mix(w.to_bits());
+                }
+                mix(d.bias().len() as u64);
+                for &b in d.bias() {
+                    mix(b.to_bits());
+                }
+            }
+            Layer::Conv1d(c) => {
+                mix(1);
+                let (tag, k) = activation_key(c.activation());
+                mix(tag);
+                mix(k);
+                mix(c.in_dim() as u64);
+                mix(c.kernels().rows() as u64);
+                mix(c.kernels().cols() as u64);
+                for &w in c.kernels().data() {
+                    mix(w.to_bits());
+                }
+                mix(c.bias().len() as u64);
+                for &b in c.bias() {
+                    mix(b.to_bits());
+                }
+            }
+        }
+    }
+    mix(net.output_weights().len() as u64);
+    for &w in net.output_weights() {
+        mix(w.to_bits());
+    }
+    mix(net.output_bias().to_bits());
+    splitmix64(h)
+}
+
+/// Structural-and-bitwise network equality: the verification a cache hit
+/// runs when the handles are not pointer-identical. True exactly when
+/// every quantity folded into [`net_content_hash`] matches, so a hash
+/// collision between genuinely different networks degrades to a miss.
+fn net_content_eq(a: &Mlp, b: &Mlp) -> bool {
+    let bits_eq = |x: &[f64], y: &[f64]| {
+        x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    let mat_eq = |x: &Matrix, y: &Matrix| {
+        x.rows() == y.rows() && x.cols() == y.cols() && bits_eq(x.data(), y.data())
+    };
+    a.input_dim() == b.input_dim()
+        && a.depth() == b.depth()
+        && a.layers()
+            .iter()
+            .zip(b.layers())
+            .all(|(la, lb)| match (la, lb) {
+                (Layer::Dense(x), Layer::Dense(y)) => {
+                    activation_key(x.activation()) == activation_key(y.activation())
+                        && mat_eq(x.weights(), y.weights())
+                        && bits_eq(x.bias(), y.bias())
+                }
+                (Layer::Conv1d(x), Layer::Conv1d(y)) => {
+                    activation_key(x.activation()) == activation_key(y.activation())
+                        && x.in_dim() == y.in_dim()
+                        && mat_eq(x.kernels(), y.kernels())
+                        && bits_eq(x.bias(), y.bias())
+                }
+                _ => false,
+            })
+        && bits_eq(a.output_weights(), b.output_weights())
+        && a.output_bias().to_bits() == b.output_bias().to_bits()
+}
+
 /// One resident checkpoint: the `(net, xs)` witness pair plus the nominal
 /// taps and outputs a pass over them produced.
 #[derive(Debug)]
 struct CacheEntry {
     net: Arc<Mlp>,
+    /// [`net_content_hash`] of `net` at insertion time — the network half
+    /// of the key (verified via `Arc::ptr_eq` or [`net_content_eq`] on a
+    /// candidate hit).
+    net_hash: u64,
     hash: u64,
     /// The exact input set the checkpoint was computed over — the bitwise
     /// witness a hit is verified against (hash collisions degrade to
@@ -116,7 +235,8 @@ pub struct CacheStats {
 }
 
 /// An LRU cache of nominal batch checkpoints keyed by
-/// `(network identity, input-set content hash)`.
+/// `(network content hash, input-set content hash)` — two handles to
+/// bitwise-equal networks share entries.
 ///
 /// # Example
 /// ```
@@ -199,10 +319,12 @@ impl CheckpointCache {
     /// bitwise identical either way — a hit only changes cost.
     pub fn checkpoint(&mut self, net: &Arc<Mlp>, xs: &Matrix) -> CachedCheckpoint<'_> {
         let hash = input_set_hash(xs);
+        let net_hash = net_content_hash(net);
         self.tick += 1;
         let found = self.entries.iter().position(|e| {
-            Arc::ptr_eq(&e.net, net)
+            e.net_hash == net_hash
                 && e.hash == hash
+                && (Arc::ptr_eq(&e.net, net) || net_content_eq(&e.net, net))
                 && e.xs.rows() == xs.rows()
                 && e.xs.cols() == xs.cols()
                 && e.xs
@@ -243,6 +365,7 @@ impl CheckpointCache {
                     (tap_elems + nominal_y.len() + xs.data().len()) * std::mem::size_of::<f64>();
                 self.entries.push(CacheEntry {
                     net: Arc::clone(net),
+                    net_hash,
                     hash,
                     xs: xs.clone(),
                     ws,
@@ -351,7 +474,7 @@ mod tests {
         let xs = points(0, 4);
         let mut cache = CheckpointCache::new(4);
         assert!(!cache.checkpoint(&net_a, &xs).hit);
-        assert!(!cache.checkpoint(&net_b, &xs).hit, "net identity is key");
+        assert!(!cache.checkpoint(&net_b, &xs).hit, "net content is key");
         assert!(!cache.checkpoint(&net_a, &points(9, 4)).hit);
         assert!(cache.checkpoint(&net_a, &xs).hit);
         assert_eq!(cache.stats().entries, 3);
@@ -384,6 +507,60 @@ mod tests {
         assert_eq!(stats.evictions, 5);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn content_equal_handles_hit_and_perturbed_parameters_miss() {
+        let net_a = net(7);
+        let xs = points(2, 5);
+        let mut cache = CheckpointCache::new(4);
+        assert!(!cache.checkpoint(&net_a, &xs).hit);
+
+        // A distinct Arc over a bitwise-equal clone is the same key: a
+        // reloaded/re-cloned network reuses the original's checkpoint.
+        let net_clone = Arc::new((*net_a).clone());
+        assert!(!Arc::ptr_eq(&net_a, &net_clone));
+        assert_eq!(net_content_hash(&net_a), net_content_hash(&net_clone));
+        assert!(
+            cache.checkpoint(&net_clone, &xs).hit,
+            "content-equal handle must hit"
+        );
+
+        // One ulp on one weight is a different network: key changes, miss.
+        let mut perturbed = (*net_a).clone();
+        if let Layer::Dense(d) = &mut perturbed.layers_mut()[0] {
+            let w = d.weights().get(0, 0);
+            d.weights_mut().set(0, 0, f64::from_bits(w.to_bits() ^ 1));
+        } else {
+            unreachable!("test net is dense");
+        }
+        let perturbed = Arc::new(perturbed);
+        assert_ne!(net_content_hash(&net_a), net_content_hash(&perturbed));
+        assert!(
+            !cache.checkpoint(&perturbed, &xs).hit,
+            "one-ulp weight flip must miss"
+        );
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn net_content_eq_discriminates_structure() {
+        let a = net(1);
+        assert!(net_content_eq(&a, &a.clone()));
+        assert!(!net_content_eq(&a, &net(2)));
+        // Activation gain is part of content.
+        let mut g = (*a).clone();
+        if let Layer::Dense(d) = &mut g.layers_mut()[0] {
+            *d = with_activation(d, Activation::Sigmoid { k: 1.5 });
+        }
+        assert!(!net_content_eq(&a, &g));
+    }
+
+    fn with_activation(
+        d: &neurofail_nn::layer::DenseLayer,
+        a: Activation,
+    ) -> neurofail_nn::layer::DenseLayer {
+        neurofail_nn::layer::DenseLayer::new(d.weights().clone(), d.bias().to_vec(), a)
     }
 
     #[test]

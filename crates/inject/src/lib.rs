@@ -48,10 +48,16 @@ pub mod registry;
 pub mod sampler;
 pub mod streaming;
 
-pub use cache::{input_set_hash, CacheStats, CachedCheckpoint, CheckpointCache};
+pub use cache::{input_set_hash, net_content_hash, CacheStats, CachedCheckpoint, CheckpointCache};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
 pub use executor::{CompiledPlan, PlanError};
 pub use multi::{output_error_many, MultiPlanEvaluator};
+/// Compute-backend selection, re-exported so injection campaigns can pin
+/// or scope the kernel backend without depending on the tensor crate
+/// directly (see [`neurofail_tensor::backend`]).
+pub use neurofail_tensor::backend::{
+    active_kind, detected_features, force_backend, supported_kinds, with_backend, BackendKind,
+};
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
 pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;

@@ -99,19 +99,9 @@ impl Activation {
     pub fn derivative_slice(&self, sums: &[f64], ys: &[f64], out: &mut [f64]) {
         assert_eq!(sums.len(), out.len(), "derivative_slice: length mismatch");
         assert_eq!(ys.len(), out.len(), "derivative_slice: length mismatch");
-        use neurofail_tensor::ops::flush_tiny;
         match *self {
-            Activation::Sigmoid { k } => {
-                let g = 4.0 * k;
-                for (o, &y) in out.iter_mut().zip(ys) {
-                    *o = flush_tiny(g * y * (1.0 - y));
-                }
-            }
-            Activation::Tanh { k } => {
-                for (o, &y) in out.iter_mut().zip(ys) {
-                    *o = flush_tiny(k * (1.0 - y * y));
-                }
-            }
+            Activation::Sigmoid { k } => neurofail_tensor::ops::vsigmoid_deriv(4.0 * k, ys, out),
+            Activation::Tanh { k } => neurofail_tensor::ops::vtanh_deriv(k, ys, out),
             Activation::Relu => {
                 neurofail_tensor::ops::map_into(sums, out, |s| if s > 0.0 { 1.0 } else { 0.0 })
             }

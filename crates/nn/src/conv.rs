@@ -16,6 +16,33 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 
+/// Reusable staging buffers for the batched im2col convolution kernels.
+///
+/// One scratch per conv layer lives inside the batch workspaces; dense
+/// layers keep a `Default` (empty) entry. The matrices are lazily shaped
+/// by the conv methods (resize only on shape change, so steady-state
+/// passes perform no allocation) and their contents are recomputed every
+/// pass — they carry no state across calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Conv1dBatchScratch {
+    /// im2col lowering of the input batch: `(B·P) × W`, one sliding
+    /// window per row (`P` positions, kernel width `W`).
+    pub(crate) xcol: Matrix,
+    /// Position-major GEMM output / transposed-delta staging: `(B·P) × C`.
+    pub(crate) stage: Matrix,
+    /// Input-gradient staging `(B·P) × W` before the col2im scatter-add.
+    pub(crate) dxcol: Matrix,
+}
+
+/// Resize `m` only when the shape differs (a plain [`Matrix::resize`]
+/// zero-fills unconditionally; the staging buffers are fully overwritten
+/// each pass, so the fill would be wasted work).
+fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.rows() != rows || m.cols() != cols {
+        m.resize(rows, cols);
+    }
+}
+
 /// 1-D convolutional layer: `channels` kernels of width `width` slide over a
 /// length-`in_len` signal, producing `channels × (in_len − width + 1)`
 /// neurons (channel-major flattening).
@@ -214,6 +241,143 @@ impl Conv1dLayer {
                 }
                 if !grad_b.is_empty() {
                     grad_b[ch] += d;
+                }
+            }
+        }
+    }
+
+    /// Batched pre-activation sums via im2col: lower the `B × in_len`
+    /// input batch to sliding windows and run **one** GEMM against the
+    /// kernel matrix instead of `B · C · P` per-row dots.
+    ///
+    /// Numerics: each `sums[bi][ch·P + t]` is
+    /// `dot_fma(window, kernel_ch) + bias[ch]` — a pure function of that
+    /// input row's window and the kernel, bitwise independent of the batch
+    /// size and of the other rows (the append/suffix checkpoint contracts
+    /// rest on this, exactly as for the dense `matmul_nt_into` path). The
+    /// accumulation order is [`neurofail_tensor::ops::dot_fma`]'s, shared
+    /// by every batched engine; the scalar per-sample path
+    /// ([`Conv1dLayer::sums_into`]) keeps its 4-accumulator `dot` order
+    /// inside the documented ≤ 1e-12 batch/scalar envelope.
+    ///
+    /// # Panics
+    /// If `input` is not `B × in_len` or `sums` is not `B × out_dim`.
+    pub fn forward_batch_sums(
+        &self,
+        input: &Matrix,
+        sums: &mut Matrix,
+        scratch: &mut Conv1dBatchScratch,
+    ) {
+        let batch = input.rows();
+        assert_eq!(input.cols(), self.in_len, "Conv1d: input width mismatch");
+        assert_eq!(sums.rows(), batch, "Conv1d: sums rows mismatch");
+        assert_eq!(sums.cols(), self.out_dim(), "Conv1d: sums cols mismatch");
+        let p = self.positions();
+        let w = self.kernels.cols();
+        let c = self.kernels.rows();
+        ensure_shape(&mut scratch.xcol, batch * p, w);
+        ensure_shape(&mut scratch.stage, batch * p, c);
+        for bi in 0..batch {
+            let row = input.row(bi);
+            for t in 0..p {
+                scratch
+                    .xcol
+                    .row_mut(bi * p + t)
+                    .copy_from_slice(&row[t..t + w]);
+            }
+        }
+        scratch
+            .xcol
+            .matmul_nt_into(&self.kernels, &mut scratch.stage);
+        // Scatter back to channel-major, walking `stage` contiguously
+        // (rows are position-major, `c` wide).
+        let stage = scratch.stage.data();
+        for bi in 0..batch {
+            let s_row = sums.row_mut(bi);
+            for t in 0..p {
+                let st = &stage[(bi * p + t) * c..(bi * p + t + 1) * c];
+                for (ch, &v) in st.iter().enumerate() {
+                    s_row[ch * p + t] = v + self.bias.get(ch).copied().unwrap_or(0.0);
+                }
+            }
+        }
+    }
+
+    /// Batched form of [`Conv1dLayer::backward_from_dsum`]: one
+    /// transposed-accumulate GEMM for the kernel gradient
+    /// (`grad_k += stagedᵀ · xcol`, batch-then-position rows in strictly
+    /// increasing order) and one GEMM + col2im scatter-add for the input
+    /// gradient, instead of per-row scalar loops. `dinput` is fully
+    /// overwritten when present; pass `None` to skip the input gradient
+    /// (the first layer needs none).
+    ///
+    /// # Panics
+    /// If buffer shapes do not match the layer/batch.
+    pub fn backward_from_dsum_batch(
+        &self,
+        input: &Matrix,
+        dsum: &Matrix,
+        grad_k: &mut Matrix,
+        grad_b: &mut [f64],
+        dinput: Option<&mut Matrix>,
+        scratch: &mut Conv1dBatchScratch,
+    ) {
+        let batch = input.rows();
+        assert_eq!(input.cols(), self.in_len, "Conv1d: input width mismatch");
+        assert_eq!(dsum.rows(), batch, "Conv1d: dsum rows mismatch");
+        assert_eq!(dsum.cols(), self.out_dim(), "Conv1d: dsum cols mismatch");
+        let p = self.positions();
+        let w = self.kernels.cols();
+        let c = self.kernels.rows();
+        // Re-lower the input (self-contained: correct whether or not a
+        // forward pass populated this scratch since the last reshape).
+        ensure_shape(&mut scratch.xcol, batch * p, w);
+        ensure_shape(&mut scratch.stage, batch * p, c);
+        for bi in 0..batch {
+            let row = input.row(bi);
+            for t in 0..p {
+                scratch
+                    .xcol
+                    .row_mut(bi * p + t)
+                    .copy_from_slice(&row[t..t + w]);
+            }
+        }
+        // Transpose the channel-major deltas to position-major staging.
+        for bi in 0..batch {
+            let d_row = dsum.row(bi);
+            for t in 0..p {
+                let s_row = scratch.stage.row_mut(bi * p + t);
+                for (ch, s) in s_row.iter_mut().enumerate() {
+                    *s = d_row[ch * p + t];
+                }
+            }
+        }
+        // grad_k[ch][u] accumulates over (bi, t) in strictly increasing
+        // row order — the per-sample loop's order, one FMA per term.
+        scratch.stage.matmul_tn_acc_into(&scratch.xcol, grad_k);
+        if !grad_b.is_empty() {
+            for bi in 0..batch {
+                let d_row = dsum.row(bi);
+                for (ch, gb) in grad_b.iter_mut().enumerate() {
+                    for t in 0..p {
+                        *gb += d_row[ch * p + t];
+                    }
+                }
+            }
+        }
+        if let Some(dinput) = dinput {
+            assert_eq!(dinput.rows(), batch, "Conv1d: dinput rows mismatch");
+            assert_eq!(dinput.cols(), self.in_len, "Conv1d: dinput cols mismatch");
+            ensure_shape(&mut scratch.dxcol, batch * p, w);
+            scratch.stage.matmul_into(&self.kernels, &mut scratch.dxcol);
+            dinput.data_mut().fill(0.0);
+            for bi in 0..batch {
+                let d_row = dinput.row_mut(bi);
+                for t in 0..p {
+                    let dx = scratch.dxcol.row(bi * p + t);
+                    for (u, &v) in dx.iter().enumerate() {
+                        d_row[t + u] += v;
+                    }
                 }
             }
         }

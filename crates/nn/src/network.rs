@@ -226,6 +226,11 @@ pub struct BatchWorkspace {
     pub sums: Vec<Matrix>,
     /// Post-activation outputs per layer (`B × N_l`).
     pub outs: Vec<Matrix>,
+    /// Per-layer im2col staging for convolutional layers (a `Default`
+    /// placeholder for dense layers). Pure scratch: recomputed every pass,
+    /// never carries state between calls, so `append_from` only has to
+    /// keep the vector length in sync.
+    pub conv: Vec<crate::conv::Conv1dBatchScratch>,
 }
 
 impl BatchWorkspace {
@@ -254,6 +259,7 @@ impl BatchWorkspace {
         let nl = net.layers.len();
         self.sums.resize_with(nl, || Matrix::zeros(0, 0));
         self.outs.resize_with(nl, || Matrix::zeros(0, 0));
+        self.conv.resize_with(nl, Default::default);
         for (l, layer) in net.layers.iter().enumerate() {
             self.sums[l].resize(batch, layer.out_dim());
             self.outs[l].resize(batch, layer.out_dim());
@@ -284,6 +290,9 @@ impl BatchWorkspace {
             self.sums[l].append_rows(&other.sums[l]);
             self.outs[l].append_rows(&other.outs[l]);
         }
+        // The im2col scratch holds no checkpoint state; just keep one
+        // (possibly still default-shaped) entry per layer.
+        self.conv.resize_with(self.sums.len(), Default::default);
         self.batch += other.batch;
     }
 
@@ -291,6 +300,7 @@ impl BatchWorkspace {
     fn fits(&self, net: &Mlp, batch: usize) -> bool {
         self.batch == batch
             && self.sums.len() == net.layers.len()
+            && self.conv.len() == net.layers.len()
             && self
                 .sums
                 .iter()
@@ -433,14 +443,17 @@ impl Mlp {
     /// a [`BatchTap`] interposing at the same sites as the scalar path.
     ///
     /// Per layer, dense weighted sums are one GEMM (`S = X · Wᵀ` through
-    /// [`Matrix::matmul_nt_into`]'s tiled packed-FMA kernel) and the activation is
-    /// one vectorised elementwise sweep over the `B × N_l` buffer
-    /// ([`crate::activation::Activation::apply_slice`]); convolutional
-    /// layers run their (already receptive-field-shaped) dot kernel per
-    /// row and share the batched activation sweep. This is where campaign
-    /// throughput comes from: the GEMM reuses each streamed weight row
-    /// across four batch items and the activation sweep replaces `B · N`
-    /// opaque `libm` calls with a vectorised polynomial.
+    /// [`Matrix::matmul_nt_into`], dispatched to the active
+    /// [`neurofail_tensor::backend`] — portable tiled kernels or SIMD
+    /// microkernels selected at startup) and the activation is one
+    /// vectorised elementwise sweep over the `B × N_l` buffer
+    /// ([`crate::activation::Activation::apply_slice`], also dispatched);
+    /// convolutional layers lower the batch to im2col windows and run one
+    /// GEMM over all positions of all rows, sharing the batched activation
+    /// sweep. This is where campaign throughput comes from: the GEMM
+    /// reuses each streamed weight row across register-blocked batch
+    /// tiles and the activation sweep replaces `B · N` opaque `libm`
+    /// calls with a vectorised polynomial.
     ///
     /// Numerical contract: each output row is a pure function of
     /// `(xs.row(b), self)` — bitwise independent of the batch size and of
@@ -542,13 +555,11 @@ impl Mlp {
                     }
                 }
                 Layer::Conv1d(c) => {
-                    let width = c.out_dim();
-                    for (x_row, s_row) in input
-                        .rows_iter()
-                        .zip(sums.data_mut().chunks_exact_mut(width))
-                    {
-                        c.sums_into(x_row, s_row);
-                    }
+                    // Batched im2col: one GEMM over all windows of all
+                    // rows. Each sums element stays a pure function of
+                    // its own input row (see `forward_batch_sums`), so
+                    // the appendable-checkpoint contract is unchanged.
+                    c.forward_batch_sums(input, sums, &mut ws.conv[l]);
                 }
             }
             tap.pre_activation(l, input, sums);

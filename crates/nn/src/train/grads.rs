@@ -126,6 +126,9 @@ pub struct BatchBackpropWs {
     dloss: Vec<f64>,
     /// ϕ′ scratch for the widest layer (`B × max N_l`).
     dphi: Vec<f64>,
+    /// Per-layer im2col staging for convolutional layers (default entries
+    /// for dense layers); pure scratch, recomputed every pass.
+    conv: Vec<crate::conv::Conv1dBatchScratch>,
 }
 
 impl BatchBackpropWs {
@@ -145,6 +148,7 @@ impl BatchBackpropWs {
     fn reshape(&mut self, net: &Mlp, batch: usize) {
         let nl = net.layers().len();
         self.delta.resize_with(nl, || Matrix::zeros(0, 0));
+        self.conv.resize_with(nl, Default::default);
         for (m, l) in self.delta.iter_mut().zip(net.layers()) {
             m.resize(batch, l.out_dim());
         }
@@ -156,6 +160,7 @@ impl BatchBackpropWs {
     /// Whether the backward buffers match `(net, batch)`.
     fn fits(&self, net: &Mlp, batch: usize) -> bool {
         self.delta.len() == net.layers().len()
+            && self.conv.len() == net.layers().len()
             && self
                 .delta
                 .iter()
@@ -182,9 +187,10 @@ impl Mlp {
     ///    transcendentals, reusing the stored forward outputs), the weight
     ///    gradient as a single `deltaᵀ·X` GEMM
     ///    ([`Matrix::matmul_tn_acc_into`]), and the upstream delta as a
-    ///    single `delta·W` GEMM. Convolutional layers run their
-    ///    receptive-field kernels per row (as in the batched forward) and
-    ///    share the batched derivative stage.
+    ///    single `delta·W` GEMM. Convolutional layers lower the batch to
+    ///    im2col windows (as in the batched forward) so both their kernel
+    ///    gradient and input gradient are single GEMMs too, and share the
+    ///    batched derivative stage.
     ///
     /// Numerical contract: every gradient element accumulates its `B`
     /// per-example terms in strictly increasing example order, fixed per
@@ -282,21 +288,24 @@ impl Mlp {
                     }
                 }
                 Layer::Conv1d(c) => {
-                    let empty: &mut [f64] = &mut [];
-                    for b in 0..batch {
-                        let dinput: &mut [f64] = if l == 0 {
-                            &mut *empty
-                        } else {
-                            dprev[l - 1].row_mut(b)
-                        };
-                        c.backward_from_dsum(
-                            input.row(b),
-                            dsum.row(b),
-                            &mut lg.w,
-                            &mut lg.b,
-                            dinput,
-                        );
-                    }
+                    // Batched im2col lowering: one transposed-accumulate
+                    // GEMM for the kernel gradient (batch-then-position
+                    // rows in strictly increasing order, preserving the
+                    // per-element determinism contract) and one GEMM +
+                    // col2im scatter for the input gradient.
+                    let dinput = if l == 0 {
+                        None
+                    } else {
+                        Some(&mut dprev[l - 1])
+                    };
+                    c.backward_from_dsum_batch(
+                        input,
+                        dsum,
+                        &mut lg.w,
+                        &mut lg.b,
+                        dinput,
+                        &mut bws.conv[l],
+                    );
                 }
             }
         }

@@ -95,6 +95,12 @@ pub mod server;
 pub mod stats;
 
 pub use config::ServeConfig;
+/// Compute-backend selection, re-exported so serving deployments can pin
+/// the kernel backend at startup (e.g. force portable for cross-fleet
+/// bitwise reproducibility) without a direct tensor-crate dependency.
+pub use neurofail_tensor::backend::{
+    active_kind, detected_features, force_backend, supported_kinds, BackendKind,
+};
 pub use replay::{LogEntry, ReplayError, RequestLog};
 pub use server::{CertServer, ResponseDropped, ResponseHandle, ServedResponse, SubmitError};
 pub use stats::{ServeStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS};

@@ -16,13 +16,19 @@
 //! * zero-allocation in hot loops (`gemv_into`-style APIs throughout).
 //!
 //! No external BLAS: the workspace builds every substrate from scratch.
+//! The GEMM and activation kernels are dispatched at runtime through
+//! [`backend`]: the portable tiled kernels remain the bit-baseline, with
+//! AVX2/AVX-512 microkernels and a mixed-precision mode selected by CPU
+//! feature detection or the `NEUROFAIL_BACKEND` override.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod stats;
 
+pub use backend::{BackendKind, ComputeBackend};
 pub use matrix::Matrix;
 pub use stats::{OnlineStats, Summary};

@@ -10,7 +10,9 @@ use crate::ops;
 /// workspace is the forward pass `y = W · x` (weights-times-activations,
 /// paper Eq. 3), which row-major turns into `rows` contiguous dot products —
 /// one cache-friendly streaming read per output neuron.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The `Default` matrix is the empty `0 × 0` shape — the placeholder
+/// state of lazily-shaped workspace buffers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -212,6 +214,16 @@ impl Matrix {
     pub fn gemv_t_acc_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "gemv_t_acc: x length mismatch");
         assert_eq!(y.len(), self.cols, "gemv_t_acc: y length mismatch");
+        if self.cols == 0 {
+            return;
+        }
+        crate::backend::active().gemv_t_acc(self, x, y);
+    }
+
+    /// Portable kernel behind [`Matrix::gemv_t_acc_into`] — increasing-row
+    /// [`ops::axpy`] sweeps (mul-then-add per term, the order every
+    /// backend must reproduce).
+    pub(crate) fn gemv_t_acc_portable(&self, x: &[f64], y: &mut [f64]) {
         for (xi, row) in x.iter().zip(self.rows_iter()) {
             ops::axpy(*xi, row, y);
         }
@@ -250,15 +262,22 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_nt: inner dimension mismatch");
         assert_eq!(out.rows, self.rows, "matmul_nt: out rows mismatch");
         assert_eq!(out.cols, rhs.rows, "matmul_nt: out cols mismatch");
-        let k_dim = self.cols;
-        let n = rhs.rows;
-        if k_dim == 0 {
+        if self.cols == 0 {
             out.data.fill(0.0);
             return;
         }
-        if n == 0 {
+        if rhs.rows == 0 {
             return;
         }
+        crate::backend::active().matmul_nt(self, rhs, out);
+    }
+
+    /// Portable tiled kernel behind [`Matrix::matmul_nt_into`] — the
+    /// reference backend's implementation (shape validation and degenerate
+    /// handling happen in the dispatching entry point).
+    pub(crate) fn matmul_nt_portable(&self, rhs: &Matrix, out: &mut Matrix) {
+        let k_dim = self.cols;
+        let n = rhs.rows;
         const JT: usize = 4;
         const L: usize = ops::LANES;
         for (a_row, o_row) in self
@@ -352,11 +371,18 @@ impl Matrix {
         assert_eq!(self.rows, rhs.rows, "matmul_tn: batch dimension mismatch");
         assert_eq!(out.rows, self.cols, "matmul_tn: out rows mismatch");
         assert_eq!(out.cols, rhs.cols, "matmul_tn: out cols mismatch");
-        let m = self.cols;
-        let n = rhs.cols;
-        if m == 0 || n == 0 || self.rows == 0 {
+        if self.cols == 0 || rhs.cols == 0 || self.rows == 0 {
             return;
         }
+        crate::backend::active().matmul_tn_acc(self, rhs, out);
+    }
+
+    /// Portable tiled kernel behind [`Matrix::matmul_tn_acc_into`] — the
+    /// reference backend's implementation (shape validation and degenerate
+    /// handling happen in the dispatching entry point).
+    pub(crate) fn matmul_tn_acc_portable(&self, rhs: &Matrix, out: &mut Matrix) {
+        let m = self.cols;
+        let n = rhs.cols;
         const JT: usize = 4;
         let mut j = 0;
         while j + JT <= m {
@@ -399,10 +425,14 @@ impl Matrix {
     /// # Panics
     /// If `self.rows != rhs.rows`, or `out` is not `self.cols × rhs.cols`.
     pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn: batch dimension mismatch");
         assert_eq!(out.rows, self.cols, "matmul_tn: out rows mismatch");
         assert_eq!(out.cols, rhs.cols, "matmul_tn: out cols mismatch");
-        out.data.fill(0.0);
-        self.matmul_tn_acc_into(rhs, out);
+        if self.cols == 0 || rhs.cols == 0 || self.rows == 0 {
+            out.data.fill(0.0);
+            return;
+        }
+        crate::backend::active().matmul_tn(self, rhs, out);
     }
 
     /// Matrix product `self · rhs` into a caller-provided buffer.
@@ -633,23 +663,27 @@ mod tests {
 
     #[test]
     fn matmul_nt_elements_match_dot_fma_exactly() {
-        // The determinism contract: out[b][j] is bitwise dot_fma(a_b, w_j)
-        // regardless of tile position, batch size or column count.
-        for (b, k, n) in [(1usize, 5usize, 1usize), (6, 24, 10), (4, 9, 7), (2, 64, 3)] {
-            let a = Matrix::from_fn(b, k, |r, c| ((r * k + c) as f64 * 0.41).sin());
-            let w = Matrix::from_fn(n, k, |r, c| ((r * k + c) as f64 * 0.23).cos());
-            let mut out = Matrix::zeros(b, n);
-            a.matmul_nt_into(&w, &mut out);
-            for r in 0..b {
-                for j in 0..n {
-                    assert_eq!(
-                        out.get(r, j),
-                        ops::dot_fma(a.row(r), w.row(j)),
-                        "({b},{k},{n}) at ({r},{j})"
-                    );
+        // The determinism contract of the *portable* backend: out[b][j] is
+        // bitwise dot_fma(a_b, w_j) regardless of tile position, batch
+        // size or column count. Pinned to portable explicitly so a future
+        // non-order-identical default backend cannot silently weaken it.
+        crate::backend::with_backend(crate::backend::BackendKind::Portable, || {
+            for (b, k, n) in [(1usize, 5usize, 1usize), (6, 24, 10), (4, 9, 7), (2, 64, 3)] {
+                let a = Matrix::from_fn(b, k, |r, c| ((r * k + c) as f64 * 0.41).sin());
+                let w = Matrix::from_fn(n, k, |r, c| ((r * k + c) as f64 * 0.23).cos());
+                let mut out = Matrix::zeros(b, n);
+                a.matmul_nt_into(&w, &mut out);
+                for r in 0..b {
+                    for j in 0..n {
+                        assert_eq!(
+                            out.get(r, j),
+                            ops::dot_fma(a.row(r), w.row(j)),
+                            "({b},{k},{n}) at ({r},{j})"
+                        );
+                    }
                 }
             }
-        }
+        });
     }
 
     #[test]
@@ -719,21 +753,24 @@ mod tests {
         // The determinism contract: out[j][i] is the same bitwise whether
         // row j sits in a 4-row tile or in the remainder loop. Compare each
         // column pair against a hand-rolled b-sequential FMA reduction.
-        for (b, m, n) in [(6usize, 10usize, 5usize), (4, 7, 3), (9, 4, 8), (3, 5, 1)] {
-            let a = Matrix::from_fn(b, m, |r, c| ((r * m + c) as f64 * 0.43).sin());
-            let x = Matrix::from_fn(b, n, |r, c| ((r * n + c) as f64 * 0.27).cos());
-            let mut out = Matrix::zeros(m, n);
-            a.matmul_tn_acc_into(&x, &mut out);
-            for j in 0..m {
-                for i in 0..n {
-                    let mut want = 0.0f64;
-                    for bb in 0..b {
-                        want = a.get(bb, j).mul_add(x.get(bb, i), want);
+        // Pinned to the portable backend (the reference order).
+        crate::backend::with_backend(crate::backend::BackendKind::Portable, || {
+            for (b, m, n) in [(6usize, 10usize, 5usize), (4, 7, 3), (9, 4, 8), (3, 5, 1)] {
+                let a = Matrix::from_fn(b, m, |r, c| ((r * m + c) as f64 * 0.43).sin());
+                let x = Matrix::from_fn(b, n, |r, c| ((r * n + c) as f64 * 0.27).cos());
+                let mut out = Matrix::zeros(m, n);
+                a.matmul_tn_acc_into(&x, &mut out);
+                for j in 0..m {
+                    for i in 0..n {
+                        let mut want = 0.0f64;
+                        for bb in 0..b {
+                            want = a.get(bb, j).mul_add(x.get(bb, i), want);
+                        }
+                        assert_eq!(out.get(j, i), want, "({b},{m},{n}) at ({j},{i})");
                     }
-                    assert_eq!(out.get(j, i), want, "({b},{m},{n}) at ({j},{i})");
                 }
             }
-        }
+        });
     }
 
     #[test]

@@ -290,6 +290,12 @@ fn exp_lanes(x: &[f64; LANES]) -> [f64; LANES] {
 /// # Panics
 /// If `xs.len() != out.len()`.
 pub fn vexp(xs: &[f64], out: &mut [f64]) {
+    crate::backend::active().vexp(xs, out);
+}
+
+/// Portable implementation of [`vexp`] (the reference backend's kernel;
+/// SIMD backends call it through `#[target_feature]` wrappers).
+pub(crate) fn vexp_impl(xs: &[f64], out: &mut [f64]) {
     assert_eq!(xs.len(), out.len(), "vexp: length mismatch");
     let x_chunks = xs.chunks_exact(LANES);
     let x_tail = x_chunks.remainder();
@@ -317,6 +323,11 @@ pub fn vexp(xs: &[f64], out: &mut [f64]) {
 /// # Panics
 /// If `xs.len() != out.len()`.
 pub fn vsigmoid(gain: f64, xs: &[f64], out: &mut [f64]) {
+    crate::backend::active().vsigmoid(gain, xs, out);
+}
+
+/// Portable implementation of [`vsigmoid`] (reference backend kernel).
+pub(crate) fn vsigmoid_impl(gain: f64, xs: &[f64], out: &mut [f64]) {
     assert_eq!(xs.len(), out.len(), "vsigmoid: length mismatch");
     let x_chunks = xs.chunks_exact(LANES);
     let x_tail = x_chunks.remainder();
@@ -352,6 +363,11 @@ pub fn vsigmoid(gain: f64, xs: &[f64], out: &mut [f64]) {
 /// # Panics
 /// If `xs.len() != out.len()`.
 pub fn vtanh(gain: f64, xs: &[f64], out: &mut [f64]) {
+    crate::backend::active().vtanh(gain, xs, out);
+}
+
+/// Portable implementation of [`vtanh`] (reference backend kernel).
+pub(crate) fn vtanh_impl(gain: f64, xs: &[f64], out: &mut [f64]) {
     assert_eq!(xs.len(), out.len(), "vtanh: length mismatch");
     let x_chunks = xs.chunks_exact(LANES);
     let x_tail = x_chunks.remainder();
@@ -373,6 +389,46 @@ pub fn vtanh(gain: f64, xs: &[f64], out: &mut [f64]) {
         let a = gain * x;
         let t = exp_reduced((-2.0 * a.abs()).max(-EXP_CLAMP));
         *o = flush_tiny((1.0 - t) / (1.0 + t)).copysign(a);
+    }
+}
+
+/// Elementwise sigmoid derivative **from outputs**:
+/// `out[i] = flush(gain · y · (1 − y))` with `y = ys[i]` — the backward
+/// sweep of the batched trainer for `Sigmoid` layers (`gain` is the
+/// effective gain, `4k` in the paper's parameterisation). The
+/// [`SATURATION_FLUSH`] snap keeps saturated batches out of
+/// subnormal-assist territory in the delta products downstream.
+///
+/// # Panics
+/// If `ys.len() != out.len()`.
+pub fn vsigmoid_deriv(gain: f64, ys: &[f64], out: &mut [f64]) {
+    crate::backend::active().vsigmoid_deriv(gain, ys, out);
+}
+
+/// Portable implementation of [`vsigmoid_deriv`] (reference kernel).
+pub(crate) fn vsigmoid_deriv_impl(gain: f64, ys: &[f64], out: &mut [f64]) {
+    assert_eq!(ys.len(), out.len(), "vsigmoid_deriv: length mismatch");
+    for (o, &y) in out.iter_mut().zip(ys) {
+        *o = flush_tiny(gain * y * (1.0 - y));
+    }
+}
+
+/// Elementwise tanh derivative **from outputs**:
+/// `out[i] = flush(k · (1 − y²))` with `y = ys[i]` — the backward sweep
+/// for `Tanh` layers, with the same [`SATURATION_FLUSH`] contract as
+/// [`vsigmoid_deriv`].
+///
+/// # Panics
+/// If `ys.len() != out.len()`.
+pub fn vtanh_deriv(k: f64, ys: &[f64], out: &mut [f64]) {
+    crate::backend::active().vtanh_deriv(k, ys, out);
+}
+
+/// Portable implementation of [`vtanh_deriv`] (reference kernel).
+pub(crate) fn vtanh_deriv_impl(k: f64, ys: &[f64], out: &mut [f64]) {
+    assert_eq!(ys.len(), out.len(), "vtanh_deriv: length mismatch");
+    for (o, &y) in out.iter_mut().zip(ys) {
+        *o = flush_tiny(k * (1.0 - y * y));
     }
 }
 

@@ -22,6 +22,12 @@
 //! (`output_error`) is held to the documented ≤ 1e-12 batch/scalar
 //! envelope rather than bitwise — it accumulates dot products in a
 //! different order and uses `libm` transcendentals.
+//!
+//! A **compute-backend sweep** rides on the same generator: the
+//! whole-batch engine is re-run under every supported
+//! [`neurofail::tensor::backend`] kind and held to its per-backend
+//! determinism contract against a forced-portable reference (AVX2
+//! bitwise, other SIMD backends ≤ 1e-12).
 
 use std::sync::Arc;
 
@@ -33,6 +39,7 @@ use neurofail::inject::{ByzantineStrategy, CompiledPlan, StreamingEvaluator};
 use neurofail::nn::activation::Activation;
 use neurofail::nn::builder::MlpBuilder;
 use neurofail::nn::{BatchWorkspace, Mlp, Workspace};
+use neurofail::tensor::backend::{self, BackendKind};
 use neurofail::tensor::init::Init;
 use neurofail::tensor::Matrix;
 use proptest::prelude::*;
@@ -196,6 +203,51 @@ proptest! {
                 );
             }
         }
+
+        // Backend sweep: the same whole-batch evaluation under every
+        // supported compute backend, against a forced-portable reference.
+        // AVX2 is bitwise by the documented contract; any other SIMD
+        // backend rides at the ≤ 1e-12 per-backend envelope. Mixed32 is
+        // opt-in reduced precision with its own (wider) envelope and is
+        // exercised by the dedicated backend suites instead.
+        let portable: Vec<Vec<f64>> = backend::with_backend(BackendKind::Portable, || {
+            plans
+                .iter()
+                .map(|p| p.output_error_batch(&net, &xs, &mut ws))
+                .collect()
+        });
+        for kind in backend::supported_kinds() {
+            if kind == BackendKind::Mixed32 {
+                continue;
+            }
+            let got: Vec<Vec<f64>> = backend::with_backend(kind, || {
+                plans
+                    .iter()
+                    .map(|p| p.output_error_batch(&net, &xs, &mut ws))
+                    .collect()
+            });
+            for (pi, (g, p)) in got.iter().zip(&portable).enumerate() {
+                prop_assert_eq!(g.len(), p.len());
+                for (b, (gv, pv)) in g.iter().zip(p).enumerate() {
+                    if matches!(kind, BackendKind::Portable | BackendKind::Avx2) {
+                        prop_assert_eq!(
+                            gv.to_bits(), pv.to_bits(),
+                            "{} vs portable: plan {}, row {}", kind.name(), pi, b
+                        );
+                    } else {
+                        prop_assert!(
+                            (gv - pv).abs() <= 1e-12 * pv.abs().max(1.0),
+                            "{} vs portable: plan {}, row {}: {:e} vs {:e}",
+                            kind.name(), pi, b, gv, pv
+                        );
+                    }
+                }
+            }
+        }
+        // The forced-portable reference itself agrees bitwise with the
+        // ambient-backend `whole` evaluation only when the ambient GEMM
+        // order is order-identical; what the engines guarantee pairwise
+        // is agreement *under a fixed ambient backend*, checked above.
 
         // The scalar engine rides along at its documented ≤ 1e-12
         // batch/scalar envelope (different accumulation order + libm).
