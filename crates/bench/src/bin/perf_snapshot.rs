@@ -1,5 +1,5 @@
 //! Machine-readable performance snapshot: one JSON file
-//! (`BENCH_PR6.json`) covering the workspace's engine hot paths —
+//! (`BENCH_PR7.json`) covering the workspace's engine hot paths —
 //! campaign evaluation, training epochs, serve throughput, multi-plan
 //! evaluation, streaming input-incremental evaluation, plus per-backend
 //! GEMM and the im2col-vs-per-row Conv1d lowering — so the perf
@@ -70,6 +70,24 @@ struct Snapshot {
     cpu_features: Vec<String>,
     /// Measured metrics.
     metrics: Vec<Metric>,
+    /// Supervision/degradation counters observed during the
+    /// `serve_throughput` run. All zero on a healthy run — nonzero
+    /// values mean the measurement itself rode through worker restarts,
+    /// shedding or retries, and is not comparable to a clean snapshot.
+    serve_recovery: ServeRecovery,
+}
+
+/// Recovery/degradation counters aggregated over the serve run's shards.
+#[derive(Debug, Default, Serialize)]
+struct ServeRecovery {
+    worker_restarts: u64,
+    rows_requeued: u64,
+    requests_shed: u64,
+    plans_quarantined: u64,
+    deadlines_expired: u64,
+    retries: u64,
+    retry_hist: Vec<u64>,
+    total_backoff_seconds: f64,
 }
 
 /// Best-of-`reps` wall time of `f`, with the result sunk so the work is
@@ -147,7 +165,7 @@ fn train_metric(smoke: bool, reps: usize) -> Metric {
     }
 }
 
-fn serve_metric(smoke: bool, reps: usize) -> Metric {
+fn serve_metric(smoke: bool, reps: usize) -> (Metric, ServeRecovery) {
     let queries_per_client = if smoke { 16 } else { 256 };
     let clients = if smoke { 4 } else { 16 };
     let net = Arc::new(deep_net(4, 32, 4, 0x5E));
@@ -158,6 +176,7 @@ fn serve_metric(smoke: bool, reps: usize) -> Metric {
             .unwrap();
     }
     let units = (clients * queries_per_client) as u64;
+    let mut last_stats = Vec::new();
     let seconds = best_of(reps, || {
         let server = CertServer::start(
             &registry,
@@ -184,9 +203,31 @@ fn serve_metric(smoke: bool, reps: usize) -> Metric {
                 });
             }
         });
-        server.shutdown()
+        last_stats = server.shutdown();
+        last_stats.len()
     });
-    Metric {
+    let recovery = ServeRecovery {
+        worker_restarts: last_stats.iter().map(|s| s.worker_restarts).sum(),
+        rows_requeued: last_stats.iter().map(|s| s.rows_requeued).sum(),
+        requests_shed: last_stats.iter().map(|s| s.requests_shed).sum(),
+        plans_quarantined: last_stats.iter().map(|s| s.plans_quarantined).sum(),
+        deadlines_expired: last_stats.iter().map(|s| s.deadlines_expired).sum(),
+        retries: last_stats.iter().map(|s| s.retries).sum(),
+        retry_hist: last_stats.iter().fold(
+            vec![0u64; neurofail_serve::RETRY_BUCKETS],
+            |mut acc, s| {
+                for (a, n) in acc.iter_mut().zip(&s.retry_hist) {
+                    *a += n;
+                }
+                acc
+            },
+        ),
+        total_backoff_seconds: last_stats
+            .iter()
+            .map(|s| s.total_backoff.as_secs_f64())
+            .sum(),
+    };
+    let metric = Metric {
         name: "serve_throughput".into(),
         workload: format!(
             "L4 w32 net, 4 coalesced plans, {clients} clients x {queries_per_client} queries"
@@ -194,7 +235,8 @@ fn serve_metric(smoke: bool, reps: usize) -> Metric {
         seconds,
         units,
         throughput: units as f64 / seconds,
-    }
+    };
+    (metric, recovery)
 }
 
 fn multi_plan_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
@@ -412,13 +454,14 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let reps = if smoke { 1 } else { 3 };
 
+    let (serve, serve_recovery) = serve_metric(smoke, reps);
     let mut metrics = vec![
         campaign_metric(smoke, reps),
         train_metric(smoke, reps),
-        serve_metric(smoke, reps),
+        serve,
     ];
     metrics.extend(multi_plan_metrics(smoke, reps));
     metrics.extend(streaming_metrics(smoke, reps));
@@ -426,7 +469,7 @@ fn main() {
     metrics.extend(conv_lowering_metrics(smoke, reps));
 
     let snapshot = Snapshot {
-        schema: "neurofail-perf/PR6".into(),
+        schema: "neurofail-perf/PR7".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         backend: backend::active_kind().name().to_string(),
         cpu_features: backend::detected_features()
@@ -434,6 +477,7 @@ fn main() {
             .map(str::to_string)
             .collect(),
         metrics,
+        serve_recovery,
     };
     let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, &json).expect("snapshot written");

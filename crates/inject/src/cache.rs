@@ -342,6 +342,10 @@ impl CheckpointCache {
             }
             None => {
                 self.misses += 1;
+                // Chaos site: a panic here models the cache dying mid-insert
+                // (before any entry mutation besides the counters), so a
+                // caller that recovers the unwind can retry cleanly.
+                neurofail_par::failpoint!("cache::insert");
                 // Reuse the evicted entry's buffers where possible: the
                 // steady state of a search alternating a few input sets
                 // through a small cache is then allocation-free.

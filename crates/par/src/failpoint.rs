@@ -1,0 +1,413 @@
+//! Deterministic failpoint injection (the `failpoints` cargo feature).
+//!
+//! The serving layer promises that worker death means *requeue, not wrong
+//! answers* — a promise that is only testable if worker death can be
+//! provoked on demand, reproducibly. This module provides that provocation:
+//! named **injection sites** compiled into the serving and caching hot
+//! paths (via the [`failpoint!`](crate::failpoint!) /
+//! [`failpoint_reject!`](crate::failpoint_reject!) macros), armed at test
+//! time by a seeded [`ChaosSchedule`] that can fire
+//!
+//! * **panics** — kill the thread at the site (worker-death chaos),
+//! * **stalls** — sleep at the site (stuck-worker chaos),
+//! * **rejects** — force the site's backpressure error (e.g. a synthetic
+//!   `QueueFull` at the submit site),
+//!
+//! each decided by a pure SplitMix64 function of `(schedule seed, site
+//! name, hit index)` — so a chaos run is **replayable**: the same seed
+//! against the same per-site hit sequence fires the same injections
+//! ([`ChaosSchedule::decides`] is the pure decision function, and the
+//! [`ChaosGuard`] records every fired event for replay assertions).
+//!
+//! Without the feature the macros expand to nothing: zero code, zero
+//! branches, zero overhead at every site (checked by the benches not
+//! regressing and `cargo build --release` being unaffected).
+//!
+//! Scope: the armed schedule is **process-global** (worker threads are
+//! spawned by the engines under test, so thread-locals cannot reach them).
+//! [`install`] therefore serialises chaos sessions on a global lock —
+//! concurrent tests queue rather than interfere.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crate::seed::splitmix64;
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Panic the calling thread (worker-death chaos). The panic payload
+    /// names the site.
+    Panic,
+    /// Sleep for the given duration at the site (stuck-worker chaos).
+    Stall(Duration),
+    /// Force the site's rejection path: [`hit_reject`] returns `true`, so
+    /// the caller takes its backpressure branch (e.g. a synthetic
+    /// `QueueFull`). Plain [`hit`] sites ignore this action.
+    Reject,
+}
+
+impl std::fmt::Display for ChaosAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosAction::Panic => write!(f, "panic"),
+            ChaosAction::Stall(d) => write!(f, "stall({d:?})"),
+            ChaosAction::Reject => write!(f, "reject"),
+        }
+    }
+}
+
+/// When an armed site fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fire {
+    /// Fire on exactly this 0-based hit index of the site — the
+    /// deterministic one-shot used by regression tests ("kill the worker
+    /// on its second flush").
+    OnHit(u64),
+    /// Fire on each hit with probability `prob`, decided purely by
+    /// `(schedule seed, site, hit index)`, at most `max_fires` times.
+    WithProb {
+        /// Per-hit fire probability in `[0, 1]`.
+        prob: f64,
+        /// Cap on total fires of this arm (`u32::MAX` for unlimited —
+        /// avoid for `Panic` arms on respawning workers, which would
+        /// otherwise crash-loop past any schedule's intent).
+        max_fires: u32,
+    },
+}
+
+/// One armed site of a [`ChaosSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+struct Arm {
+    site: String,
+    action: ChaosAction,
+    fire: Fire,
+}
+
+/// A seeded, replayable chaos schedule: a list of armed sites plus the
+/// SplitMix64 seed their probabilistic decisions derive from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    seed: u64,
+    arms: Vec<Arm>,
+}
+
+/// FNV-1a over the site name, SplitMix64-finalised — the per-site stream
+/// separator inside the decision function.
+fn site_hash(site: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in site.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h)
+}
+
+impl ChaosSchedule {
+    /// An empty schedule with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        ChaosSchedule {
+            seed,
+            arms: Vec::new(),
+        }
+    }
+
+    /// The schedule's decision seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Arm `site` with `action`, fired per `fire`. Arms are consulted in
+    /// insertion order; the first that decides for a hit wins (one action
+    /// per hit).
+    pub fn arm(mut self, site: &str, action: ChaosAction, fire: Fire) -> Self {
+        self.arms.push(Arm {
+            site: site.to_string(),
+            action,
+            fire,
+        });
+        self
+    }
+
+    /// Sugar: arm a deterministic one-shot on hit index `hit`.
+    pub fn on_hit(self, site: &str, action: ChaosAction, hit: u64) -> Self {
+        self.arm(site, action, Fire::OnHit(hit))
+    }
+
+    /// Sugar: arm a probabilistic fire with a cap.
+    pub fn with_prob(self, site: &str, action: ChaosAction, prob: f64, max_fires: u32) -> Self {
+        self.arm(site, action, Fire::WithProb { prob, max_fires })
+    }
+
+    /// The **pure** decision function: would hit number `hit` (0-based) of
+    /// `site` fire, and with what action? Ignores `max_fires` caps (those
+    /// are runtime state); the runtime fires the returned arm only while
+    /// its cap is unspent. Purity is what makes a chaos run replayable:
+    /// the same `(seed, site, hit)` always decides the same way.
+    pub fn decides(&self, site: &str, hit: u64) -> Option<(usize, ChaosAction)> {
+        self.arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.site == site)
+            .find_map(|(i, a)| {
+                let fires = match a.fire {
+                    Fire::OnHit(n) => hit == n,
+                    Fire::WithProb { prob, .. } => {
+                        let u = splitmix64(
+                            self.seed ^ site_hash(site) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        // Map to [0, 1) with 53 explicit mantissa bits.
+                        (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < prob
+                    }
+                };
+                fires.then_some((i, a.action))
+            })
+    }
+}
+
+/// One injection the runtime actually fired, in firing order — the replay
+/// witness retrievable through [`ChaosGuard::events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiredEvent {
+    /// The site that fired.
+    pub site: String,
+    /// The site's 0-based hit index at which it fired.
+    pub hit: u64,
+    /// The action taken.
+    pub action: ChaosAction,
+}
+
+/// Runtime state of the installed schedule.
+struct Active {
+    schedule: ChaosSchedule,
+    /// Per-site hit counters plus per-arm fired counters.
+    state: Mutex<RunState>,
+}
+
+#[derive(Default)]
+struct RunState {
+    hits: HashMap<String, u64>,
+    fired_per_arm: HashMap<usize, u32>,
+    events: Vec<FiredEvent>,
+}
+
+/// The globally armed schedule (worker threads must see it, so it cannot
+/// be thread-local) and the session lock serialising chaos tests.
+fn active_slot() -> &'static Mutex<Option<Arc<Active>>> {
+    static ACTIVE: OnceLock<Mutex<Option<Arc<Active>>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exclusive handle to an installed [`ChaosSchedule`]. Dropping it
+/// disarms every site and releases the chaos session lock.
+pub struct ChaosGuard {
+    active: Arc<Active>,
+    _session: MutexGuard<'static, ()>,
+}
+
+impl ChaosGuard {
+    /// Every injection fired so far, in firing order.
+    pub fn events(&self) -> Vec<FiredEvent> {
+        lock(&self.active.state).events.clone()
+    }
+
+    /// How many times `site` has fired (any action).
+    pub fn fired(&self, site: &str) -> u64 {
+        lock(&self.active.state)
+            .events
+            .iter()
+            .filter(|e| e.site == site)
+            .count() as u64
+    }
+
+    /// How many times `site` has been **hit** (fired or not).
+    pub fn hits(&self, site: &str) -> u64 {
+        lock(&self.active.state)
+            .hits
+            .get(site)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        *lock(active_slot()) = None;
+    }
+}
+
+/// Arm `schedule` process-wide until the returned guard drops.
+///
+/// Blocks while another chaos session is active (sessions are serialised
+/// on a global lock, so concurrently running tests queue instead of
+/// corrupting each other's schedules).
+pub fn install(schedule: ChaosSchedule) -> ChaosGuard {
+    let session = lock(session_lock());
+    let active = Arc::new(Active {
+        schedule,
+        state: Mutex::new(RunState::default()),
+    });
+    *lock(active_slot()) = Some(Arc::clone(&active));
+    ChaosGuard {
+        active,
+        _session: session,
+    }
+}
+
+/// Record the hit, consult the schedule, enforce caps, log a fired event.
+fn consume(site: &str) -> Option<ChaosAction> {
+    let active = lock(active_slot()).clone()?;
+    let mut state = lock(&active.state);
+    let hit = {
+        let h = state.hits.entry(site.to_string()).or_insert(0);
+        let now = *h;
+        *h += 1;
+        now
+    };
+    let (arm_idx, action) = active.schedule.decides(site, hit)?;
+    if let Fire::WithProb { max_fires, .. } = active.schedule.arms[arm_idx].fire {
+        let fired = state.fired_per_arm.entry(arm_idx).or_insert(0);
+        if *fired >= max_fires {
+            return None;
+        }
+        *fired += 1;
+    }
+    state.events.push(FiredEvent {
+        site: site.to_string(),
+        hit,
+        action,
+    });
+    Some(action)
+}
+
+/// Fire the named site: panic or stall if the installed schedule says so
+/// ([`ChaosAction::Reject`] arms are ignored here — they belong on
+/// [`hit_reject`] sites). No-op when no schedule is installed.
+pub fn hit(site: &str) {
+    match consume(site) {
+        Some(ChaosAction::Panic) => panic!("chaos failpoint '{site}' fired: panic"),
+        Some(ChaosAction::Stall(d)) => std::thread::sleep(d),
+        Some(ChaosAction::Reject) | None => {}
+    }
+}
+
+/// Fire the named site at a rejection-capable call site: returns `true`
+/// when a [`ChaosAction::Reject`] arm fires (the caller must take its
+/// backpressure branch), panics/stalls like [`hit`] otherwise.
+pub fn hit_reject(site: &str) -> bool {
+    match consume(site) {
+        Some(ChaosAction::Panic) => panic!("chaos failpoint '{site}' fired: panic"),
+        Some(ChaosAction::Stall(d)) => {
+            std::thread::sleep(d);
+            false
+        }
+        Some(ChaosAction::Reject) => true,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_function_is_pure_and_seed_dependent() {
+        let s = ChaosSchedule::new(7).with_prob("serve::flush", ChaosAction::Panic, 0.5, u32::MAX);
+        // Purity: the same (seed, site, hit) always decides identically.
+        for hit in 0..64 {
+            assert_eq!(
+                s.decides("serve::flush", hit),
+                s.decides("serve::flush", hit)
+            );
+        }
+        // The site name separates streams: an unarmed site never fires.
+        assert_eq!(s.decides("serve::recv", 0), None);
+        // Different seeds produce different decision sequences.
+        let t = ChaosSchedule::new(8).with_prob("serve::flush", ChaosAction::Panic, 0.5, u32::MAX);
+        let fire = |sched: &ChaosSchedule| -> Vec<bool> {
+            (0..64)
+                .map(|h| sched.decides("serve::flush", h).is_some())
+                .collect()
+        };
+        assert_ne!(fire(&s), fire(&t), "seed must steer the decisions");
+        // Probability 0 never fires; probability 1 always fires.
+        let never = ChaosSchedule::new(7).with_prob("x", ChaosAction::Panic, 0.0, u32::MAX);
+        let always = ChaosSchedule::new(7).with_prob("x", ChaosAction::Panic, 1.0, u32::MAX);
+        assert!((0..256).all(|h| never.decides("x", h).is_none()));
+        assert!((0..256).all(|h| always.decides("x", h).is_some()));
+    }
+
+    #[test]
+    fn on_hit_fires_exactly_once_at_the_named_hit() {
+        let guard = install(ChaosSchedule::new(0).on_hit(
+            "unit::stall",
+            ChaosAction::Stall(Duration::from_millis(1)),
+            2,
+        ));
+        for _ in 0..5 {
+            hit("unit::stall");
+        }
+        let events = guard.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].hit, 2);
+        assert_eq!(guard.hits("unit::stall"), 5);
+        assert_eq!(guard.fired("unit::stall"), 1);
+    }
+
+    #[test]
+    fn max_fires_caps_probabilistic_arms() {
+        let guard =
+            install(ChaosSchedule::new(3).with_prob("unit::reject", ChaosAction::Reject, 1.0, 2));
+        let fired: usize = (0..10).filter(|_| hit_reject("unit::reject")).count();
+        assert_eq!(fired, 2, "cap of 2 must bound an always-fire arm");
+        assert_eq!(guard.events().len(), 2);
+    }
+
+    #[test]
+    fn reject_arms_are_inert_on_plain_hit_sites() {
+        let guard = install(ChaosSchedule::new(0).with_prob(
+            "unit::mixed",
+            ChaosAction::Reject,
+            1.0,
+            u32::MAX,
+        ));
+        hit("unit::mixed"); // must not panic, stall, or loop
+        assert_eq!(guard.fired("unit::mixed"), 1);
+    }
+
+    #[test]
+    fn uninstalled_sites_are_inert() {
+        // No schedule installed (and none leaking from other tests, since
+        // sessions serialise): hits do nothing and cost only the lookup.
+        drop(install(ChaosSchedule::new(0))); // disarm: nothing installed now
+        hit("unit::nothing");
+        assert!(!hit_reject("unit::nothing"));
+    }
+
+    #[test]
+    fn same_schedule_replays_the_same_event_sequence() {
+        let run = || {
+            let guard = install(
+                ChaosSchedule::new(99)
+                    .with_prob("unit::a", ChaosAction::Reject, 0.4, u32::MAX)
+                    .on_hit("unit::b", ChaosAction::Stall(Duration::ZERO), 1),
+            );
+            for _ in 0..16 {
+                let _ = hit_reject("unit::a");
+                hit("unit::b");
+            }
+            guard.events()
+        };
+        assert_eq!(run(), run(), "replay must be exact event-for-event");
+    }
+}

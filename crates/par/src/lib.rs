@@ -37,9 +37,51 @@
 
 pub mod channel;
 pub mod combinators;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod policy;
 pub mod seed;
 
 pub use combinators::{for_each_index, parallel_map, parallel_reduce, parallel_sum};
 pub use policy::Parallelism;
 pub use seed::SeedSequence;
+
+/// Fire the named chaos injection site (see the `failpoint` module,
+/// compiled with `--features failpoints`): panics or stalls the calling
+/// thread when an installed `failpoint::ChaosSchedule` says so. Expands to
+/// **nothing** unless the *invoking* crate enables its `failpoints`
+/// feature (which forwards to `neurofail-par/failpoints`), so production
+/// builds carry zero code at every site.
+///
+/// ```ignore
+/// neurofail_par::failpoint!("serve::flush");
+/// ```
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            $crate::failpoint::hit($site);
+        }
+    }};
+}
+
+/// Fire the named injection site at a rejection-capable call site: yields
+/// `true` when a `failpoint::ChaosAction::Reject` arm fires (the caller
+/// must take its backpressure branch, e.g. return a synthetic
+/// `QueueFull`), and behaves like [`failpoint!`] otherwise. Expands to a
+/// constant `false` unless the invoking crate enables its `failpoints`
+/// feature.
+#[macro_export]
+macro_rules! failpoint_reject {
+    ($site:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            $crate::failpoint::hit_reject($site)
+        }
+        #[cfg(not(feature = "failpoints"))]
+        {
+            false
+        }
+    }};
+}

@@ -62,6 +62,32 @@ pub struct ServeConfig {
     /// default: the per-flush prefix comparison only pays for itself
     /// under prefix-sharing traffic.
     pub streaming_ingest: bool,
+    /// Overload-shedding budget: when set, a submission whose estimated
+    /// queue wait — current queue depth × the shard's EWMA per-row flush
+    /// cost — exceeds the budget is rejected newest-first with a typed
+    /// [`SubmitError::Overloaded`](crate::SubmitError) (counted in
+    /// [`ServeStats::requests_shed`](crate::ServeStats)) instead of being
+    /// queued behind work it would miss any latency target under. `None`
+    /// (the default) never sheds; `Some(Duration::ZERO)` sheds whenever
+    /// the queue is non-empty (useful in tests).
+    pub shed_budget: Option<Duration>,
+    /// Deadline applied to every [`submit`](crate::CertServer::submit) /
+    /// [`query`](crate::CertServer::query) that does not carry its own
+    /// (via [`submit_within`](crate::CertServer::submit_within)): a
+    /// request still queued when its deadline passes is failed with a
+    /// typed [`RequestError::Deadline`](crate::RequestError) at the next
+    /// flush staging instead of being served late. `None` (the default)
+    /// means requests wait indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// How many flush panics *attributed to one plan's faulty suffix* a
+    /// shard tolerates before it quarantines the plan (submissions then
+    /// fail fast with
+    /// [`SubmitError::Quarantined`](crate::SubmitError); other plans on
+    /// the shard keep serving). Attribution is per-plan, so one poison
+    /// plan cannot crash-loop a coalesced shard. Panics outside a plan's
+    /// suffix resume (queue recv, nominal pass) are never attributed.
+    /// Must be ≥ 1; default 3.
+    pub max_plan_strikes: u32,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +100,9 @@ impl Default for ServeConfig {
             record_log: false,
             coalesce_plans: false,
             streaming_ingest: false,
+            shed_budget: None,
+            default_deadline: None,
+            max_plan_strikes: 3,
         }
     }
 }
@@ -85,6 +114,10 @@ impl ServeConfig {
         assert!(
             self.queue_capacity >= 1,
             "ServeConfig: queue_capacity must be >= 1"
+        );
+        assert!(
+            self.max_plan_strikes >= 1,
+            "ServeConfig: max_plan_strikes must be >= 1"
         );
     }
 }

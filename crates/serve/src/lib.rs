@@ -47,6 +47,22 @@
 //!   (type-enforced: it consumes the server), drains every queued
 //!   request, joins the workers, and leaves all outstanding
 //!   [`ResponseHandle`]s resolvable. No accepted request is dropped.
+//! * **Crash-recovery invisibility** — every shard runs under a
+//!   supervisor: a panicked worker is respawned, its staged-but-
+//!   unanswered rows are requeued (never dropped, never double-answered),
+//!   and a plan whose flushes keep panicking is quarantined. Every
+//!   accepted request is answered bitwise-correctly exactly once or fails
+//!   with a typed [`RequestError`] ([`Deadline`](RequestError::Deadline),
+//!   [`Quarantined`](RequestError::Quarantined),
+//!   [`WorkerDied`](RequestError::WorkerDied)); chaos changes *which* of
+//!   the two — and the recovery statistics — never an answered value.
+//!   Exercised by `tests/chaos_serve.rs` under `--features failpoints`.
+//! * **Graceful degradation** — per-request deadlines
+//!   ([`CertServer::submit_within`]), capped-exponential
+//!   deterministic-jitter retry ([`CertServer::submit_with_retry`]), and
+//!   overload shedding ([`ServeConfig::shed_budget`], typed
+//!   [`SubmitError::Overloaded`]) make overload observable and bounded
+//!   instead of silent and unbounded.
 //!
 //! ## Example
 //!
@@ -102,5 +118,9 @@ pub use neurofail_tensor::backend::{
     active_kind, detected_features, force_backend, supported_kinds, BackendKind,
 };
 pub use replay::{LogEntry, ReplayError, RequestLog};
-pub use server::{CertServer, ResponseDropped, ResponseHandle, ServedResponse, SubmitError};
-pub use stats::{ServeStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS};
+pub use server::{
+    CertServer, RequestError, ResponseHandle, RetryPolicy, ServedResponse, SubmitError,
+};
+pub use stats::{
+    ServeStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS, RETRY_BUCKETS, RETRY_BUCKET_LABELS,
+};

@@ -1,11 +1,12 @@
 //! The certification server: plan-sharded workers behind micro-batching
-//! queues.
+//! queues, under crash supervision.
 //!
 //! Topology: every **shard** — one registered plan, or, with
 //! [`ServeConfig::coalesce_plans`], the whole group of plans sharing one
-//! network — gets a bounded request queue ([`neurofail_par::channel`])
-//! plus one or more worker threads that own clones of the shard's
-//! [`RegisteredPlan`]s and private [`BatchWorkspace`]s. Workers run the
+//! network — gets a bounded request queue ([`neurofail_par::channel`]),
+//! one or more worker threads that own clones of the shard's
+//! [`RegisteredPlan`]s and private [`BatchWorkspace`]s, and a
+//! **supervisor** thread watching the workers. Workers run the
 //! micro-batching loop:
 //!
 //! 1. block on the queue for a first request;
@@ -13,25 +14,50 @@
 //!    [`ServeConfig::max_batch`];
 //! 3. if the batch is still short, wait for more until the
 //!    [`ServeConfig::max_wait`] deadline;
-//! 4. gather the batch's inputs into one reused `B × d` matrix (rows
-//!    grouped by plan), run **one nominal pass** over the whole flush,
-//!    resume each plan's faulty pass at its first faulty layer against
-//!    that checkpoint (the suffix engine — the unfaulted prefix is never
-//!    recomputed, counted in
-//!    [`ServeStats::nominal_rows_saved`](crate::ServeStats)), and route
-//!    each row's value back through its response handle.
+//! 4. reap rows that must not be served (expired deadlines, quarantined
+//!    plans — each failed with a typed [`RequestError`]), stage the rest
+//!    into the shard's per-worker **in-flight table**, run **one nominal
+//!    pass** over the whole flush, resume each plan's faulty pass at its
+//!    first faulty layer against that checkpoint (the suffix engine),
+//!    and answer each row exactly once by *taking* it out of the table.
+//!
+//! ## Supervision (crash recovery)
+//!
+//! A worker panic can strand two kinds of rows: whatever the dead worker
+//! had staged in its in-flight table, and whatever is still queued. The
+//! shard supervisor turns both into ordinary delays instead of losses:
+//!
+//! * it learns of the death through a control event sent by the worker's
+//!   drop guard, joins the thread, and recovers every row still `Some`
+//!   in the dead worker's in-flight table — answered rows were already
+//!   taken out (`None`), so a recovered row can never be double-answered;
+//! * it respawns the worker with the recovered rows as its **first
+//!   batch** (no queue round-trip, so recovery cannot deadlock on a full
+//!   queue) and fresh workspaces — streaming-ingest checkpoints are
+//!   discarded, which only changes
+//!   [`checkpoint_hits`](crate::ServeStats::checkpoint_hits) statistics,
+//!   never values;
+//! * a panic that strikes *inside one plan's suffix resume* is attributed
+//!   to that plan; after [`ServeConfig::max_plan_strikes`] strikes the
+//!   plan is **quarantined** — its submissions fail fast with
+//!   [`SubmitError::Quarantined`] and its queued rows are failed typed —
+//!   so one poison plan cannot crash-loop a coalesced shard.
+//!
+//! The resulting contract (ARCHITECTURE.md contract 12): every accepted
+//! request is answered bitwise-correctly exactly once, or fails with a
+//! typed [`RequestError`]; worker death changes *which* of the two and
+//! the recovery statistics, never an answered value.
 //!
 //! Per-row batch independence plus the suffix engine's bitwise contract
 //! make the coalescing semantically invisible: each response is bitwise
 //! the value a direct singleton
 //! [`output_error_batch`](neurofail_inject::CompiledPlan::output_error_batch)
-//! evaluation returns, so callers cannot tell (except in latency) how
-//! their query was batched or which plans shared its flush. Shutdown is
-//! graceful by construction — dropping the queue senders lets workers
-//! drain everything still queued before they observe the disconnect and
-//! exit, so no accepted request is ever dropped.
+//! evaluation returns. Shutdown is graceful by construction — dropping
+//! the queue senders lets workers drain everything still queued before
+//! they observe the disconnect and exit; the supervisor exits once every
+//! worker has wound down normally.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,6 +65,7 @@ use std::time::{Duration, Instant};
 use neurofail_inject::{PlanId, PlanRegistry, RegisteredPlan};
 use neurofail_nn::{BatchWorkspace, NoBatchTap};
 use neurofail_par::channel::{self, TrySendError};
+use neurofail_par::seed::splitmix64;
 use neurofail_tensor::Matrix;
 use parking_lot::Mutex;
 
@@ -47,7 +74,11 @@ use crate::replay::{LogEntry, RequestLog};
 use crate::stats::{ServeStats, ShardStats};
 
 /// Why a submission was not accepted.
+///
+/// Non-exhaustive: future server versions may refuse submissions for new
+/// reasons; match with a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// No plan with this id is registered.
     UnknownPlan(
@@ -63,10 +94,38 @@ pub enum SubmitError {
     },
     /// The shard's queue is at capacity (returned by
     /// [`CertServer::try_submit`] only; [`CertServer::submit`] blocks
-    /// instead).
-    QueueFull,
-    /// Every worker of this plan's shard has died (panicked), so nothing
-    /// would ever serve the request.
+    /// instead). Carries the observed depth and a backoff hint so callers
+    /// — and [`CertServer::submit_with_retry`] — can wait an informed
+    /// amount instead of guessing.
+    QueueFull {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+        /// Estimated time until the queue has drained (depth × the
+        /// shard's EWMA per-row flush cost) — a reasonable first backoff.
+        retry_after: Duration,
+    },
+    /// The overload budget ([`ServeConfig::shed_budget`]) rejected the
+    /// submission: the estimated queue wait exceeds what the deployment
+    /// is willing to let a new request absorb. Degradation made graceful
+    /// and observable (counted in
+    /// [`requests_shed`](crate::ServeStats::requests_shed)).
+    Overloaded {
+        /// Queue depth observed at shed time.
+        depth: usize,
+        /// The wait estimate that broke the budget.
+        estimated_wait: Duration,
+    },
+    /// The plan was quarantined after repeated flush panics
+    /// ([`ServeConfig::max_plan_strikes`]); it no longer accepts traffic.
+    Quarantined(
+        /// The quarantined plan.
+        PlanId,
+    ),
+    /// Every worker of this plan's shard has died and nothing would ever
+    /// serve the request. Unreachable under supervision (dead workers are
+    /// respawned); retained for exhaustive handling by older callers.
     ShardDown(
         /// The affected plan.
         PlanId,
@@ -80,7 +139,24 @@ impl std::fmt::Display for SubmitError {
             SubmitError::DimensionMismatch { expected, got } => {
                 write!(f, "input dimension {got}, plan expects {expected}")
             }
-            SubmitError::QueueFull => write!(f, "shard queue full (backpressure)"),
+            SubmitError::QueueFull {
+                depth,
+                capacity,
+                retry_after,
+            } => write!(
+                f,
+                "shard queue full (depth {depth}/{capacity}, retry after ~{retry_after:?})"
+            ),
+            SubmitError::Overloaded {
+                depth,
+                estimated_wait,
+            } => write!(
+                f,
+                "overloaded: estimated wait {estimated_wait:?} at depth {depth} exceeds the shed budget"
+            ),
+            SubmitError::Quarantined(id) => {
+                write!(f, "{id} is quarantined after repeated flush panics")
+            }
             SubmitError::ShardDown(id) => {
                 write!(f, "every worker of {id}'s shard has died")
             }
@@ -90,18 +166,87 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// The response never arrived: the serving worker died (panicked) before
-/// answering. Cannot happen through orderly shutdown, which drains.
+/// Why an *accepted* request was not answered with a value. The typed
+/// half of the serving contract: chaos may turn an answer into one of
+/// these, never into a wrong or missing value.
+///
+/// Non-exhaustive: future server versions may fail requests for new
+/// reasons; match with a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ResponseDropped;
+#[non_exhaustive]
+pub enum RequestError {
+    /// The serving worker died before answering and the row could not be
+    /// recovered (e.g. the server shut down mid-recovery).
+    WorkerDied,
+    /// The request's deadline expired before a worker staged it.
+    Deadline,
+    /// The request's plan was quarantined while the request was queued or
+    /// in flight.
+    Quarantined(
+        /// The quarantined plan.
+        PlanId,
+    ),
+}
 
-impl std::fmt::Display for ResponseDropped {
+impl std::fmt::Display for RequestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serving worker dropped the response")
+        match self {
+            RequestError::WorkerDied => write!(f, "serving worker died before answering"),
+            RequestError::Deadline => write!(f, "request deadline expired before serving"),
+            RequestError::Quarantined(id) => {
+                write!(f, "{id} was quarantined while the request was pending")
+            }
+        }
     }
 }
 
-impl std::error::Error for ResponseDropped {}
+impl std::error::Error for RequestError {}
+
+/// Backoff policy for [`CertServer::submit_with_retry`]: capped
+/// exponential backoff with deterministic jitter.
+///
+/// Retry `k` (1-based) sleeps `min(cap, max(jitter · base · 2^(k−1),
+/// hint))`, where `hint` is the server's `retry_after` / `estimated_wait`
+/// from the rejection and `jitter ∈ [0.5, 1.0)` is derived purely from
+/// `(jitter_seed, k)` via SplitMix64 — so a retry schedule is replayable,
+/// chaos-test friendly, and still decorrelates concurrent clients that
+/// use different seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (≥ 1); `1` means no retries.
+    pub max_attempts: u32,
+    /// First retry's nominal backoff (doubled each further retry).
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based), given the server's
+    /// backoff `hint` from the rejection. Pure: same `(policy, attempt,
+    /// hint)` → same duration.
+    pub fn backoff(&self, attempt: u32, hint: Duration) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let u = splitmix64(self.jitter_seed ^ u64::from(attempt));
+        let jitter = 0.5 + (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * 0.5;
+        exp.mul_f64(jitter).max(hint).min(self.cap)
+    }
+}
 
 /// A served response with its serving metadata.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,7 +264,7 @@ pub struct ServedResponse {
 /// The response rendezvous: a single shared allocation per request (much
 /// lighter on the submit path than an `mpsc` channel, which is why serve
 /// carries its own). The worker fulfills it once; dropping the worker-side
-/// [`Responder`] unfulfilled marks it dead so waiters never hang.
+/// [`Responder`] unfulfilled fails it typed so waiters never hang.
 #[derive(Debug)]
 struct OneShot {
     slot: StdMutex<SlotState>,
@@ -130,7 +275,7 @@ struct OneShot {
 enum SlotState {
     Pending,
     Ready(ServedResponse),
-    Dead,
+    Failed(RequestError),
 }
 
 impl OneShot {
@@ -142,17 +287,27 @@ impl OneShot {
     }
 }
 
-/// Worker-side half of a [`OneShot`]: fulfil exactly once, or mark dead on
-/// drop (worker panic) so the waiter errors instead of hanging.
+/// Worker-side half of a [`OneShot`]: fulfil or fail exactly once;
+/// dropping it unresolved (worker panic with the row unrecoverable) fails
+/// it with [`RequestError::WorkerDied`] so the waiter errors instead of
+/// hanging.
 struct Responder(Arc<OneShot>);
 
 impl Responder {
-    fn send(self, resp: ServedResponse) {
+    fn resolve(self, state: SlotState) {
         let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
-        *slot = SlotState::Ready(resp);
+        *slot = state;
         drop(slot);
         self.0.ready.notify_one();
-        // The subsequent Drop sees `Ready` and leaves it in place.
+        // The subsequent Drop sees a resolved slot and leaves it in place.
+    }
+
+    fn send(self, resp: ServedResponse) {
+        self.resolve(SlotState::Ready(resp));
+    }
+
+    fn fail(self, err: RequestError) {
+        self.resolve(SlotState::Failed(err));
     }
 }
 
@@ -160,7 +315,7 @@ impl Drop for Responder {
     fn drop(&mut self) {
         let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
         if matches!(*slot, SlotState::Pending) {
-            *slot = SlotState::Dead;
+            *slot = SlotState::Failed(RequestError::WorkerDied);
             drop(slot);
             self.0.ready.notify_one();
         }
@@ -183,24 +338,26 @@ impl ResponseHandle {
         self.seq
     }
 
-    /// Block until the response arrives and return the served value.
+    /// Block until the request resolves and return the served value.
     ///
     /// # Errors
-    /// [`ResponseDropped`] if the serving worker died before answering.
-    pub fn wait(self) -> Result<f64, ResponseDropped> {
+    /// The typed [`RequestError`] if the request failed instead of being
+    /// served (deadline expiry, plan quarantine, unrecoverable worker
+    /// death).
+    pub fn wait(self) -> Result<f64, RequestError> {
         self.wait_response().map(|r| r.value)
     }
 
-    /// Block until the response arrives, returning value + metadata.
+    /// Block until the request resolves, returning value + metadata.
     ///
     /// # Errors
-    /// [`ResponseDropped`] if the serving worker died before answering.
-    pub fn wait_response(self) -> Result<ServedResponse, ResponseDropped> {
+    /// As [`wait`](Self::wait).
+    pub fn wait_response(self) -> Result<ServedResponse, RequestError> {
         let mut slot = self.slot.slot.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             match *slot {
                 SlotState::Ready(resp) => return Ok(resp),
-                SlotState::Dead => return Err(ResponseDropped),
+                SlotState::Failed(err) => return Err(err),
                 SlotState::Pending => {
                     slot = self
                         .slot
@@ -212,13 +369,22 @@ impl ResponseHandle {
         }
     }
 
-    /// Non-blocking probe: `Some` once the response is ready (the response
-    /// stays readable; a later [`wait`](Self::wait) returns it again).
-    pub fn poll(&self) -> Option<ServedResponse> {
+    /// Non-blocking probe: `Some` once the request resolved — `Ok` with
+    /// the response, `Err` with the typed failure. The resolution stays
+    /// readable; a later [`wait`](Self::wait) returns it again.
+    pub fn try_wait(&self) -> Option<Result<ServedResponse, RequestError>> {
         match *self.slot.slot.lock().unwrap_or_else(|e| e.into_inner()) {
-            SlotState::Ready(resp) => Some(resp),
-            _ => None,
+            SlotState::Pending => None,
+            SlotState::Ready(resp) => Some(Ok(resp)),
+            SlotState::Failed(err) => Some(Err(err)),
         }
+    }
+
+    /// Non-blocking probe for the success case only: `Some` once a
+    /// response is ready ([`try_wait`](Self::try_wait) additionally
+    /// distinguishes typed failures from still-pending).
+    pub fn poll(&self) -> Option<ServedResponse> {
+        self.try_wait().and_then(Result::ok)
     }
 }
 
@@ -229,30 +395,91 @@ struct Request {
     seq: u64,
     input: Vec<f64>,
     submitted: Instant,
+    deadline: Option<Instant>,
     resp: Responder,
 }
 
-/// One shard: a queue, workers and stats serving a group of plans that
-/// share one network (a single plan unless
-/// [`ServeConfig::coalesce_plans`] grouped them).
+/// `current_slot` sentinel: the worker is not inside any plan's suffix
+/// resume, so a panic is not attributable to a plan.
+const SLOT_NONE: usize = usize::MAX;
+
+/// Worker→supervisor control events.
+enum Event {
+    /// Worker thread `worker` exited; `panicked` distinguishes a crash
+    /// from the orderly queue-drained exit.
+    Down {
+        /// The worker's index within its shard.
+        worker: usize,
+        /// Whether the thread was unwinding when the event fired.
+        panicked: bool,
+    },
+}
+
+/// Sends the `Down` event when the worker thread exits — by panic or by
+/// orderly return — so the supervisor learns of every death exactly once.
+struct DownGuard {
+    ctl: channel::Sender<Event>,
+    worker: usize,
+}
+
+impl Drop for DownGuard {
+    fn drop(&mut self) {
+        let _ = self.ctl.send(Event::Down {
+            worker: self.worker,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+/// State shared by a shard's workers, supervisor, and the submit path.
+struct ShardShared {
+    /// Shard index (thread naming on respawn).
+    shard: usize,
+    /// The shard's plan group — one entry per slot, all sharing a net.
+    plans: Vec<(PlanId, RegisteredPlan)>,
+    /// The shard queue's receive side. Held here (not per worker) so
+    /// respawned workers can re-attach; the queue disconnects only when
+    /// the server drops its sender at shutdown.
+    rx: channel::Receiver<Request>,
+    cfg: ServeConfig,
+    stats: Arc<ShardStats>,
+    log: Option<Arc<Mutex<Vec<LogEntry>>>>,
+    /// Per-worker in-flight tables: the rows a worker has staged but not
+    /// yet answered. `Some` = staged, `None` = answered (taken). The
+    /// supervisor recovers the `Some` rows of a dead worker — answered
+    /// rows are structurally impossible to recover twice.
+    inflight: Vec<Mutex<Vec<Option<Request>>>>,
+    /// Per-worker: the plan slot whose suffix resume is executing, or
+    /// [`SLOT_NONE`]. Read by the supervisor (after joining the dead
+    /// thread) to attribute a panic to a plan.
+    current_slot: Vec<AtomicUsize>,
+    /// Per-plan-slot flush-panic strike counters.
+    strikes: Vec<AtomicU32>,
+    /// Per-plan-slot quarantine flags (set at `max_plan_strikes`).
+    quarantined: Vec<AtomicBool>,
+}
+
+/// One shard: the queue's send side, the supervisor handle, and the
+/// shared state (stats, quarantine flags, in-flight tables).
 struct Shard {
     /// `Some` while the server accepts traffic; taken (dropped) at
     /// shutdown so workers can drain and exit.
     tx: Option<channel::Sender<Request>>,
-    workers: Vec<JoinHandle<()>>,
-    stats: Arc<ShardStats>,
+    supervisor: Option<JoinHandle<()>>,
+    shared: Arc<ShardShared>,
     input_dim: usize,
 }
 
-/// The async certification server: registered plans behind micro-batching
-/// worker shards. See the [crate docs](crate) for the full contract and a
-/// usage example.
+/// The async certification server: registered plans behind supervised
+/// micro-batching worker shards. See the [crate docs](crate) for the full
+/// contract and a usage example.
 pub struct CertServer {
     shards: Vec<Shard>,
     /// `PlanId.0 → (shard index, slot within the shard's plan group)`.
     routes: Vec<(usize, usize)>,
     seq: AtomicU64,
     log: Option<Arc<Mutex<Vec<LogEntry>>>>,
+    cfg: ServeConfig,
 }
 
 impl CertServer {
@@ -263,10 +490,13 @@ impl CertServer {
     /// the same network (`Arc` identity) share one shard, and each flush
     /// serves all of them from a single nominal pass plus per-plan suffix
     /// resumes; otherwise every plan gets its own shard (whose flushes
-    /// still run the suffix engine for the one plan they serve).
+    /// still run the suffix engine for the one plan they serve). Every
+    /// shard also gets a supervisor thread that respawns panicked workers
+    /// and requeues their staged rows (see the [module docs](self)).
     ///
     /// # Panics
-    /// On nonsensical `cfg` (zero `max_batch` or `queue_capacity`).
+    /// On nonsensical `cfg` (zero `max_batch`, `queue_capacity` or
+    /// `max_plan_strikes`).
     pub fn start(registry: &PlanRegistry, cfg: ServeConfig) -> CertServer {
         cfg.validate();
         let log = cfg
@@ -299,26 +529,39 @@ impl CertServer {
             .enumerate()
             .map(|(shard_idx, plans)| {
                 let (tx, rx) = channel::bounded::<Request>(cfg.queue_capacity);
+                let workers = cfg.workers.worker_count();
+                // Control channel sized so every worker can post its Down
+                // event without blocking even if the supervisor is busy.
+                let (ctl_tx, ctl_rx) = channel::bounded::<Event>(workers * 2 + 4);
                 let stats = Arc::new(ShardStats::default());
-                let alive = Arc::new(AtomicUsize::new(cfg.workers.worker_count()));
                 let input_dim = plans[0].1.input_dim();
-                let workers = (0..cfg.workers.worker_count())
-                    .map(|_| {
-                        let plans = plans.clone();
-                        let rx = rx.clone();
-                        let stats = Arc::clone(&stats);
-                        let log = log.clone();
-                        let alive = Arc::clone(&alive);
-                        std::thread::Builder::new()
-                            .name(format!("neurofail-serve-shard{shard_idx}"))
-                            .spawn(move || worker_loop(plans, rx, cfg, stats, log, alive))
-                            .expect("spawn serve worker")
-                    })
+                let plan_count = plans.len();
+                let shared = Arc::new(ShardShared {
+                    shard: shard_idx,
+                    plans,
+                    rx,
+                    cfg,
+                    stats: Arc::clone(&stats),
+                    log: log.clone(),
+                    inflight: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+                    current_slot: (0..workers).map(|_| AtomicUsize::new(SLOT_NONE)).collect(),
+                    strikes: (0..plan_count).map(|_| AtomicU32::new(0)).collect(),
+                    quarantined: (0..plan_count).map(|_| AtomicBool::new(false)).collect(),
+                });
+                let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+                    .map(|w| Some(spawn_worker(&shared, w, Vec::new(), ctl_tx.clone())))
                     .collect();
+                let supervisor = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("neurofail-serve-sup{shard_idx}"))
+                        .spawn(move || supervisor_loop(shared, ctl_rx, ctl_tx, handles))
+                        .expect("spawn serve supervisor")
+                };
                 Shard {
                     tx: Some(tx),
-                    workers,
-                    stats,
+                    supervisor: Some(supervisor),
+                    shared,
                     input_dim,
                 }
             })
@@ -328,6 +571,7 @@ impl CertServer {
             routes,
             seq: AtomicU64::new(0),
             log,
+            cfg,
         }
     }
 
@@ -360,10 +604,18 @@ impl CertServer {
                 got: input.len(),
             });
         }
+        if shard.shared.quarantined[slot].load(Ordering::Relaxed) {
+            return Err(SubmitError::Quarantined(plan));
+        }
         Ok((shard, slot))
     }
 
-    fn make_request(&self, slot: usize, input: Vec<f64>) -> (Request, ResponseHandle) {
+    fn make_request(
+        &self,
+        slot: usize,
+        input: Vec<f64>,
+        deadline: Option<Instant>,
+    ) -> (Request, ResponseHandle) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let oneshot = OneShot::new();
         (
@@ -372,31 +624,127 @@ impl CertServer {
                 seq,
                 input,
                 submitted: Instant::now(),
+                deadline,
                 resp: Responder(Arc::clone(&oneshot)),
             },
             ResponseHandle { slot: oneshot, seq },
         )
     }
 
+    /// `retry_after` hint: estimated time until the shard's queue drains
+    /// (depth × EWMA per-row flush cost, ≥ 1 queue slot's worth).
+    fn drain_estimate(shard: &Shard, depth: usize) -> Duration {
+        Duration::from_nanos(
+            shard
+                .shared
+                .stats
+                .est_row_cost_ns()
+                .saturating_mul(depth.max(1) as u64),
+        )
+    }
+
+    fn submit_inner(
+        &self,
+        plan: PlanId,
+        input: Vec<f64>,
+        deadline: Option<Instant>,
+        block: bool,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let (shard, slot) = self.checked_shard(plan, &input)?;
+        let tx = shard.tx.as_ref().expect("server accepts traffic");
+        // Chaos site: force the backpressure path without a full queue.
+        if neurofail_par::failpoint_reject!("serve::submit") {
+            shard.shared.stats.on_reject();
+            let depth = tx.len();
+            return Err(SubmitError::QueueFull {
+                depth,
+                capacity: self.cfg.queue_capacity,
+                retry_after: Self::drain_estimate(shard, depth),
+            });
+        }
+        // Overload shedding: reject-newest once the estimated queue wait
+        // exceeds the budget, instead of queueing work that would miss
+        // any latency target anyway.
+        if let Some(budget) = self.cfg.shed_budget {
+            let depth = tx.len();
+            let estimated_wait = Duration::from_nanos(
+                shard
+                    .shared
+                    .stats
+                    .est_row_cost_ns()
+                    .saturating_mul(depth as u64),
+            );
+            if estimated_wait > budget {
+                shard.shared.stats.on_shed();
+                return Err(SubmitError::Overloaded {
+                    depth,
+                    estimated_wait,
+                });
+            }
+        }
+        let (req, handle) = self.make_request(slot, input, deadline);
+        if block {
+            match tx.send(req) {
+                Ok(depth) => {
+                    shard.shared.stats.on_submit(depth);
+                    Ok(handle)
+                }
+                // All receiver clones are gone ⇒ every shard worker died
+                // unsupervised. Unreachable while the supervisor lives.
+                Err(_) => Err(SubmitError::ShardDown(plan)),
+            }
+        } else {
+            match tx.try_send(req) {
+                Ok(depth) => {
+                    shard.shared.stats.on_submit(depth);
+                    Ok(handle)
+                }
+                Err(TrySendError::Full(_)) => {
+                    shard.shared.stats.on_reject();
+                    let depth = tx.len();
+                    Err(SubmitError::QueueFull {
+                        depth,
+                        capacity: self.cfg.queue_capacity,
+                        retry_after: Self::drain_estimate(shard, depth),
+                    })
+                }
+                Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShardDown(plan)),
+            }
+        }
+    }
+
+    fn default_deadline(&self) -> Option<Instant> {
+        self.cfg.default_deadline.map(|d| Instant::now() + d)
+    }
+
     /// Enqueue a disturbance query against `plan`, blocking while the
-    /// shard's queue is full (backpressure).
+    /// shard's queue is full (backpressure). Carries
+    /// [`ServeConfig::default_deadline`] if one is configured.
     ///
     /// # Errors
     /// [`SubmitError::UnknownPlan`] / [`SubmitError::DimensionMismatch`]
-    /// on malformed submissions (the queue is never touched), and
-    /// [`SubmitError::ShardDown`] if every worker of the shard has
-    /// panicked (the queue is disconnected: nothing would serve the
-    /// request).
+    /// on malformed submissions (the queue is never touched),
+    /// [`SubmitError::Quarantined`] for a quarantined plan,
+    /// [`SubmitError::Overloaded`] when the shed budget rejects the
+    /// submission, and [`SubmitError::ShardDown`] in the unsupervised
+    /// worker-death case (unreachable under supervision).
     pub fn submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
-        let (shard, slot) = self.checked_shard(plan, &input)?;
-        let tx = shard.tx.as_ref().expect("server accepts traffic");
-        let (req, handle) = self.make_request(slot, input);
-        let Ok(depth) = tx.send(req) else {
-            // All receiver clones are gone ⇒ every shard worker died.
-            return Err(SubmitError::ShardDown(plan));
-        };
-        shard.stats.on_submit(depth);
-        Ok(handle)
+        self.submit_inner(plan, input, self.default_deadline(), true)
+    }
+
+    /// [`submit`](Self::submit) with an explicit per-request deadline:
+    /// if no worker has staged the request `timeout` from now, it fails
+    /// with [`RequestError::Deadline`] instead of being served late.
+    ///
+    /// # Errors
+    /// As [`submit`](Self::submit).
+    pub fn submit_within(
+        &self,
+        plan: PlanId,
+        input: Vec<f64>,
+        timeout: Duration,
+    ) -> Result<ResponseHandle, SubmitError> {
+        self.submit_inner(plan, input, Some(Instant::now() + timeout), true)
     }
 
     /// Enqueue without blocking: a full queue is reported as
@@ -406,19 +754,55 @@ impl CertServer {
     /// # Errors
     /// As [`CertServer::submit`], plus [`SubmitError::QueueFull`].
     pub fn try_submit(&self, plan: PlanId, input: Vec<f64>) -> Result<ResponseHandle, SubmitError> {
-        let (shard, slot) = self.checked_shard(plan, &input)?;
-        let tx = shard.tx.as_ref().expect("server accepts traffic");
-        let (req, handle) = self.make_request(slot, input);
-        match tx.try_send(req) {
-            Ok(depth) => {
-                shard.stats.on_submit(depth);
-                Ok(handle)
+        self.submit_inner(plan, input, self.default_deadline(), false)
+    }
+
+    /// [`try_submit`](Self::try_submit) with capped-exponential backoff:
+    /// on [`QueueFull`](SubmitError::QueueFull) or
+    /// [`Overloaded`](SubmitError::Overloaded), sleep per
+    /// [`RetryPolicy::backoff`] (never less than the server's own
+    /// `retry_after` hint) and try again, up to
+    /// [`RetryPolicy::max_attempts`] total attempts. Retries are counted
+    /// in the shard's [`retry_hist`](crate::ServeStats::retry_hist) and
+    /// [`total_backoff`](crate::ServeStats::total_backoff).
+    ///
+    /// # Errors
+    /// The last rejection once attempts are exhausted; non-retryable
+    /// errors (unknown plan, dimension mismatch, quarantine) immediately.
+    ///
+    /// # Panics
+    /// If `policy.max_attempts` is 0.
+    pub fn submit_with_retry(
+        &self,
+        plan: PlanId,
+        input: &[f64],
+        policy: RetryPolicy,
+    ) -> Result<ResponseHandle, SubmitError> {
+        assert!(policy.max_attempts >= 1, "max_attempts must be >= 1");
+        let mut attempt = 0u32;
+        loop {
+            match self.try_submit(plan, input.to_vec()) {
+                Ok(handle) => return Ok(handle),
+                Err(err) => {
+                    let hint = match &err {
+                        SubmitError::QueueFull { retry_after, .. } => *retry_after,
+                        SubmitError::Overloaded { estimated_wait, .. } => *estimated_wait,
+                        _ => return Err(err),
+                    };
+                    attempt += 1;
+                    if attempt >= policy.max_attempts {
+                        return Err(err);
+                    }
+                    let backoff = policy.backoff(attempt, hint);
+                    if let Some(&(shard, _)) = self.routes.get(plan.0) {
+                        self.shards[shard]
+                            .shared
+                            .stats
+                            .on_retry(attempt, backoff.as_nanos() as u64);
+                    }
+                    std::thread::sleep(backoff);
+                }
             }
-            Err(TrySendError::Full(_)) => {
-                shard.stats.on_reject();
-                Err(SubmitError::QueueFull)
-            }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShardDown(plan)),
         }
     }
 
@@ -428,7 +812,10 @@ impl CertServer {
     /// As [`CertServer::submit`].
     ///
     /// # Panics
-    /// If the serving worker died before answering (worker panic).
+    /// If the request fails with a typed [`RequestError`] (deadline
+    /// expiry under [`ServeConfig::default_deadline`], quarantine,
+    /// unrecoverable worker death) — use [`submit`](Self::submit) +
+    /// [`ResponseHandle::wait`] to handle those.
     pub fn query(&self, plan: PlanId, input: &[f64]) -> Result<f64, SubmitError> {
         let handle = self.submit(plan, input.to_vec())?;
         Ok(handle.wait().expect("serving worker answered"))
@@ -442,7 +829,14 @@ impl CertServer {
         let &(shard, _) = self.routes.get(plan.0)?;
         let s = &self.shards[shard];
         let depth = s.tx.as_ref().map_or(0, channel::Sender::len);
-        Some(s.stats.snapshot(depth))
+        Some(s.shared.stats.snapshot(depth))
+    }
+
+    /// Whether `plan` is currently quarantined (crossed
+    /// [`ServeConfig::max_plan_strikes`] attributed flush panics).
+    pub fn is_quarantined(&self, plan: PlanId) -> Option<bool> {
+        let &(shard, slot) = self.routes.get(plan.0)?;
+        Some(self.shards[shard].shared.quarantined[slot].load(Ordering::Relaxed))
     }
 
     /// Drain the recorded request log (entries sorted by submission
@@ -450,7 +844,8 @@ impl CertServer {
     /// [`ServeConfig::record_log`](crate::ServeConfig::record_log) was set.
     /// Entries of in-flight requests appear only once served — call after
     /// their responses (or after [`CertServer::shutdown`]) for a complete
-    /// log.
+    /// log. Requests that failed typed (deadline, quarantine) are never
+    /// logged: the log holds exactly the answered requests.
     pub fn take_log(&self) -> RequestLog {
         let mut entries = match &self.log {
             Some(log) => std::mem::take(&mut *log.lock()),
@@ -467,19 +862,21 @@ impl CertServer {
             shard.tx = None;
         }
         for shard in &mut self.shards {
-            for worker in shard.workers.drain(..) {
-                // A worker panic already surfaced to its waiters as
-                // `ResponseDropped`; joining must not double-panic the
-                // caller mid-shutdown.
-                let _ = worker.join();
+            if let Some(sup) = shard.supervisor.take() {
+                // The supervisor exits once every worker wound down
+                // normally; it respawns workers that panic during the
+                // drain, so the drain always completes.
+                let _ = sup.join();
             }
         }
     }
 
     /// Graceful shutdown: stop accepting traffic, let workers drain every
-    /// queued request (all outstanding [`ResponseHandle`]s resolve), join
-    /// them, and return each plan's final stats in [`PlanId`] order
-    /// (plans sharing a coalesced shard report that shard's stats).
+    /// queued request (all outstanding [`ResponseHandle`]s resolve — with
+    /// a value, or a typed error for deadline-expired / quarantined
+    /// rows), join workers and supervisors, and return each plan's final
+    /// stats in [`PlanId`] order (plans sharing a coalesced shard report
+    /// that shard's stats).
     ///
     /// Taking `self` by value makes the grace period type-checked: no
     /// other thread can still hold `&self` to submit with.
@@ -487,7 +884,7 @@ impl CertServer {
         self.shutdown_inner();
         self.routes
             .iter()
-            .map(|&(shard, _)| self.shards[shard].stats.snapshot(0))
+            .map(|&(shard, _)| self.shards[shard].shared.stats.snapshot(0))
             .collect()
     }
 }
@@ -498,52 +895,108 @@ impl Drop for CertServer {
     }
 }
 
-/// Unwind insurance for a shard's waiters: when the *last* worker of a
-/// shard exits — normally (queue already drained) or by panic — whatever
-/// is still queued can never be served, so the guard drains it and drops
-/// the requests, dead-marking their response slots. Waiters then observe
-/// [`ResponseDropped`] instead of hanging. A submission racing the final
-/// drain against the panicking shard can in principle still slip in
-/// between the last drain pass and the receiver drop; the window is a few
-/// instructions wide and only reachable after a worker panic, which the
-/// public API cannot trigger (inputs are validated at submit).
-struct WorkerGuard {
-    rx: channel::Receiver<Request>,
-    alive: Arc<AtomicUsize>,
+fn spawn_worker(
+    shared: &Arc<ShardShared>,
+    worker: usize,
+    initial: Vec<Request>,
+    ctl: channel::Sender<Event>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = format!("neurofail-serve-shard{}", shared.shard);
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(shared, worker, initial, ctl))
+        .expect("spawn serve worker")
 }
 
-impl Drop for WorkerGuard {
-    fn drop(&mut self) {
-        if self.alive.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut leftovers = Vec::new();
-            while self.rx.recv_up_to(&mut leftovers, 64) > 0 {
-                leftovers.clear(); // dropping each Request dead-marks its slot
+/// The shard supervisor: joins dead workers, recovers their staged rows,
+/// respawns them, and quarantines plans that keep killing flushes. Exits
+/// once every worker has wound down normally (which requires the server
+/// to have dropped the queue sender — i.e. shutdown).
+fn supervisor_loop(
+    shared: Arc<ShardShared>,
+    ctl_rx: channel::Receiver<Event>,
+    ctl_tx: channel::Sender<Event>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut live = handles.len();
+    while live > 0 {
+        // The receive cannot disconnect: this loop holds `ctl_tx` (for
+        // respawned workers' guards), so exit is by live-count only.
+        let Ok(Event::Down { worker, panicked }) = ctl_rx.recv() else {
+            break;
+        };
+        if let Some(handle) = handles[worker].take() {
+            // After the join the dead thread's in-flight lock is free and
+            // its memory effects are visible.
+            let _ = handle.join();
+        }
+        if !panicked {
+            live -= 1;
+            continue;
+        }
+        shared.stats.on_restart();
+        // Attribute the panic: a crash inside one plan's suffix resume
+        // strikes that plan; enough strikes quarantine it so a poison
+        // plan cannot crash-loop the shard. Panics elsewhere (recv,
+        // staging, nominal pass) are whole-shard events — no strike.
+        let slot = shared.current_slot[worker].swap(SLOT_NONE, Ordering::Relaxed);
+        if slot != SLOT_NONE {
+            let strikes = shared.strikes[slot].fetch_add(1, Ordering::Relaxed) + 1;
+            if strikes >= shared.cfg.max_plan_strikes
+                && !shared.quarantined[slot].swap(true, Ordering::Relaxed)
+            {
+                shared.stats.on_quarantine();
             }
         }
+        // Recover the staged-but-unanswered rows: everything still `Some`
+        // in the dead worker's in-flight table. Answered rows were taken
+        // out, so a recovered row cannot have been answered — requeueing
+        // can never double-answer.
+        let mut recovered: Vec<Request> =
+            shared.inflight[worker].lock().drain(..).flatten().collect();
+        // Rows of a now-quarantined plan would crash the respawned worker
+        // again; fail them typed instead of requeueing.
+        let mut i = 0;
+        while i < recovered.len() {
+            let s = recovered[i].slot;
+            if shared.quarantined[s].load(Ordering::Relaxed) {
+                recovered
+                    .swap_remove(i)
+                    .resp
+                    .fail(RequestError::Quarantined(shared.plans[s].0));
+            } else {
+                i += 1;
+            }
+        }
+        shared.stats.on_requeue(recovered.len() as u64);
+        // Respawn with the recovered rows as the worker's first batch —
+        // no queue round-trip, so recovery cannot deadlock on a full
+        // queue and recovered rows never contend with new arrivals.
+        handles[worker] = Some(spawn_worker(&shared, worker, recovered, ctl_tx.clone()));
     }
+    // Every worker exited normally: the queue is disconnected and fully
+    // drained, and every in-flight table is empty. Nothing to sweep.
 }
 
 /// The micro-batching worker loop (one per shard worker thread).
 ///
-/// `plans` is the shard's plan group — one entry per slot, all sharing a
-/// network. Each flush runs the suffix engine: one nominal pass over the
-/// whole coalesced batch, then per plan present in the flush one faulty
-/// pass **resumed** at that plan's first faulty layer, so the unfaulted
-/// prefix is never recomputed. Served values are bitwise identical to
-/// per-plan singleton `output_error_batch` evaluations (per-row
-/// independence + the suffix engine's bitwise contract).
+/// `initial` is the recovered-row handoff from a dead predecessor (empty
+/// at server start): those rows form the worker's first batch. The loop
+/// stages every batch into the shard's per-worker in-flight table before
+/// computing, and answers each row by *taking* it out — the invariant the
+/// supervisor's recovery rests on (see the [module docs](self)).
 fn worker_loop(
-    plans: Vec<(PlanId, RegisteredPlan)>,
-    rx: channel::Receiver<Request>,
-    cfg: ServeConfig,
-    stats: Arc<ShardStats>,
-    log: Option<Arc<Mutex<Vec<LogEntry>>>>,
-    alive: Arc<AtomicUsize>,
+    shared: Arc<ShardShared>,
+    w: usize,
+    initial: Vec<Request>,
+    ctl: channel::Sender<Event>,
 ) {
-    let _guard = WorkerGuard {
-        rx: rx.clone(),
-        alive,
-    };
+    let _down = DownGuard { ctl, worker: w };
+    let cfg = shared.cfg;
+    let plans = &shared.plans;
+    let rx = &shared.rx;
+    let stats = &shared.stats;
     let dim = plans[0].1.input_dim();
     let net = Arc::clone(plans[0].1.net());
     let mut ws_nominal = BatchWorkspace::default();
@@ -553,53 +1006,103 @@ fn worker_loop(
     // Streaming-ingest state: the previous flush's staged rows, the
     // nominal outputs aligned with them (`nominal` below persists across
     // flushes for this reason), a scratch for checkpoint extension and a
-    // buffer for the new suffix rows.
+    // buffer for the new suffix rows. A respawned worker starts fresh —
+    // discarded checkpoints only cost `checkpoint_hits`, never values.
     let mut prev_xs = Matrix::zeros(0, dim);
     let mut nominal: Vec<f64> = Vec::new();
     let mut chunk_ck = BatchWorkspace::default();
     let mut tail = Matrix::zeros(0, dim);
     let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    let mut recovered = initial;
     let mut order: Vec<usize> = Vec::with_capacity(cfg.max_batch);
     let mut values: Vec<f64> = Vec::with_capacity(cfg.max_batch);
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(cfg.max_batch);
 
     loop {
-        // Phase 1: block for the batch's first request (or exit once the
-        // server dropped the sender and the queue is drained).
-        let Ok(first) = rx.recv() else { break };
-        batch.push(first);
+        shared.current_slot[w].store(SLOT_NONE, Ordering::Relaxed);
+        neurofail_par::failpoint!("serve::recv");
+        if recovered.is_empty() {
+            // Phase 1: block for the batch's first request (or exit once
+            // the server dropped the sender and the queue is drained).
+            let Ok(first) = rx.recv() else { break };
+            batch.push(first);
 
-        // Phase 2: greedy bulk drain (one queue lock for the whole grab),
-        // then wait out the flush deadline if the batch is still short.
-        let mut room = cfg.max_batch - batch.len();
-        rx.recv_up_to(&mut batch, room);
-        if !cfg.max_wait.is_zero() && batch.len() < cfg.max_batch {
-            let deadline = Instant::now() + cfg.max_wait;
-            while batch.len() < cfg.max_batch {
-                match rx.recv_deadline(deadline) {
-                    Ok(req) => {
-                        batch.push(req);
-                        room = cfg.max_batch - batch.len();
-                        rx.recv_up_to(&mut batch, room);
+            // Phase 2: greedy bulk drain (one queue lock for the whole
+            // grab), then wait out the flush deadline if still short.
+            let mut room = cfg.max_batch - batch.len();
+            rx.recv_up_to(&mut batch, room);
+            if !cfg.max_wait.is_zero() && batch.len() < cfg.max_batch {
+                let deadline = Instant::now() + cfg.max_wait;
+                while batch.len() < cfg.max_batch {
+                    match rx.recv_deadline(deadline) {
+                        Ok(req) => {
+                            batch.push(req);
+                            room = cfg.max_batch - batch.len();
+                            rx.recv_up_to(&mut batch, room);
+                        }
+                        Err(_) => break, // deadline passed or disconnected
                     }
-                    Err(_) => break, // deadline passed or disconnected: flush
                 }
             }
+        } else {
+            // Recovered handoff: serve it first, topped up (non-blocking)
+            // with whatever is already queued.
+            batch.append(&mut recovered);
+            let room = cfg.max_batch.saturating_sub(batch.len());
+            if room > 0 {
+                rx.recv_up_to(&mut batch, room);
+            }
         }
+
+        // Reap rows that must not be served: quarantined plans (poison
+        // rows would crash-loop the shard) and expired deadlines — each
+        // failed with its typed error. Order within the batch does not
+        // matter (per-row independence), so swap_remove is fine.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < batch.len() {
+            let slot = batch[i].slot;
+            if shared.quarantined[slot].load(Ordering::Relaxed) {
+                batch
+                    .swap_remove(i)
+                    .resp
+                    .fail(RequestError::Quarantined(plans[slot].0));
+            } else if batch[i].deadline.is_some_and(|d| d <= now) {
+                stats.on_deadline_expired(1);
+                batch.swap_remove(i).resp.fail(RequestError::Deadline);
+            } else {
+                i += 1;
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        // Stage the batch into the shard's in-flight table *before* any
+        // computation: from here until each row's answer takes it back
+        // out, the supervisor can recover every row of a panicked flush.
+        // The lock is uncontended (the supervisor only touches it after
+        // joining this thread) and held for the whole flush.
+        let rows = batch.len();
+        let mut inflight = shared.inflight[w].lock();
+        debug_assert!(inflight.is_empty(), "previous flush fully answered");
+        inflight.extend(batch.drain(..).map(Some));
+        neurofail_par::failpoint!("serve::flush");
+        let compute_start = Instant::now();
 
         // Phase 3: one shared nominal pass plus per-plan suffix resumes
         // for the whole flush. Rows are staged grouped by slot (stable
         // within a slot), but per-row independence makes the staging
         // order irrelevant to the values served.
-        let rows = batch.len();
         order.clear();
         order.extend(0..rows);
         if plans.len() > 1 {
-            order.sort_by_key(|&i| batch[i].slot);
+            order.sort_by_key(|&i| inflight[i].as_ref().expect("staged").slot);
         }
         xs.resize(rows, dim);
         for (row, &i) in order.iter().enumerate() {
-            xs.row_mut(row).copy_from_slice(&batch[i].input);
+            xs.row_mut(row)
+                .copy_from_slice(&inflight[i].as_ref().expect("staged").input);
         }
         // Nominal pass for the flush. In streaming-ingest mode, when the
         // staged rows *start bitwise* with the previous flush's rows —
@@ -636,18 +1139,23 @@ fn worker_loop(
             nominal.extend(net.forward_batch(&xs, &mut ws_nominal));
             0
         };
+        neurofail_par::failpoint!("serve::mid_flush");
         values.clear();
         values.resize(rows, 0.0);
         let mut saved = 0u64;
         let mut r0 = 0usize;
         while r0 < rows {
-            let slot = batch[order[r0]].slot;
+            let slot = inflight[order[r0]].as_ref().expect("staged").slot;
             let mut r1 = r0 + 1;
-            while r1 < rows && batch[order[r1]].slot == slot {
+            while r1 < rows && inflight[order[r1]].as_ref().expect("staged").slot == slot {
                 r1 += 1;
             }
             let entry = &plans[slot].1;
             let from = entry.compiled().first_faulty_layer();
+            // A panic between these two stores is attributed to `slot`'s
+            // plan by the supervisor (strike accounting).
+            shared.current_slot[w].store(slot, Ordering::Relaxed);
+            neurofail_par::failpoint!("serve::resume");
             let faulty = if r1 - r0 == rows {
                 // A whole-flush group resumes directly against the
                 // checkpoint, no row copy.
@@ -678,6 +1186,7 @@ fn worker_loop(
             for (gr, r) in (r0..r1).enumerate() {
                 values[order[r]] = (nominal[r] - faulty[gr]).abs();
             }
+            shared.current_slot[w].store(SLOT_NONE, Ordering::Relaxed);
             saved += from as u64 * (r1 - r0) as u64;
             r0 = r1;
         }
@@ -687,29 +1196,37 @@ fn worker_loop(
             std::mem::swap(&mut prev_xs, &mut xs);
         }
         let done = Instant::now();
+        stats.observe_row_cost(done.duration_since(compute_start).as_nanos() as u64 / rows as u64);
 
         // Phase 4: account, record, respond — in that order, so a caller
         // that has already received its response never observes stats (or
-        // a log) missing the flush that served it.
+        // a log) missing the flush that served it. (A flush interrupted
+        // by a panic *after* this accounting recomputes its recovered
+        // rows in a later flush, so chaos can double-count rows in the
+        // flush statistics — never in answers or the log.)
         latencies_ns.clear();
-        latencies_ns.extend(
-            batch
-                .iter()
-                .map(|req| done.duration_since(req.submitted).as_nanos() as u64),
-        );
+        latencies_ns.extend((0..rows).map(|i| {
+            done.duration_since(inflight[i].as_ref().expect("staged").submitted)
+                .as_nanos() as u64
+        }));
         stats.on_flush(rows, &latencies_ns, saved, ck_hit, ck_reused);
-        if let Some(log) = &log {
-            let mut log = log.lock();
-            // Inputs are moved out of the requests (responses don't need
-            // them), so logging adds no per-request allocation.
-            log.extend(batch.iter_mut().zip(&values).map(|(req, &value)| LogEntry {
-                plan: plans[req.slot].0 .0,
-                seq: req.seq,
-                input: std::mem::take(&mut req.input),
-                value,
-            }));
-        }
-        for (req, &value) in batch.drain(..).zip(&values) {
+        for (i, &value) in values.iter().enumerate() {
+            neurofail_par::failpoint!("serve::answer");
+            // Take → log → answer: after the take this row can no longer
+            // be recovered (it is being answered); before it, a panic
+            // leaves it `Some` for requeue. Double answers are therefore
+            // structurally impossible.
+            let mut req = inflight[i].take().expect("answered once");
+            if let Some(log) = &shared.log {
+                // Inputs are moved out of the requests (responses don't
+                // need them), so logging adds no per-request allocation.
+                log.lock().push(LogEntry {
+                    plan: plans[req.slot].0 .0,
+                    seq: req.seq,
+                    input: std::mem::take(&mut req.input),
+                    value,
+                });
+            }
             // A dropped handle (fire-and-forget caller) is fine: the slot
             // is still fulfilled, it just becomes unreachable.
             req.resp.send(ServedResponse {
@@ -719,6 +1236,8 @@ fn worker_loop(
                 latency: done.duration_since(req.submitted),
             });
         }
+        inflight.clear();
+        drop(inflight);
     }
 }
 
@@ -782,6 +1301,8 @@ mod tests {
         );
         assert_eq!(server.input_dim(PlanId(9)), None);
         assert!(server.stats(PlanId(9)).is_none());
+        assert!(server.is_quarantined(PlanId(9)).is_none());
+        assert_eq!(server.is_quarantined(PlanId(0)), Some(false));
         let stats = server.shutdown();
         assert_eq!(stats[0].requests, 0);
     }
@@ -822,6 +1343,11 @@ mod tests {
             "no coalescing happened (mean batch {})",
             stats.mean_batch
         );
+        // A healthy run never restarts, requeues, sheds or quarantines.
+        assert_eq!(stats.worker_restarts, 0);
+        assert_eq!(stats.rows_requeued, 0);
+        assert_eq!(stats.requests_shed, 0);
+        assert_eq!(stats.plans_quarantined, 0);
         server.shutdown();
     }
 
@@ -860,7 +1386,7 @@ mod tests {
     }
 
     #[test]
-    fn try_submit_reports_backpressure() {
+    fn try_submit_reports_backpressure_with_hints() {
         let reg = test_registry();
         // A server whose single worker is easy to stall: capacity 1 queue.
         let server = CertServer::start(
@@ -879,7 +1405,13 @@ mod tests {
         for _ in 0..10_000 {
             match server.try_submit(PlanId(0), vec![0.1, 0.2]) {
                 Ok(h) => handles.push(h),
-                Err(SubmitError::QueueFull) => {
+                Err(SubmitError::QueueFull {
+                    capacity,
+                    retry_after,
+                    ..
+                }) => {
+                    assert_eq!(capacity, 1);
+                    assert!(retry_after > Duration::ZERO, "hint must be nonzero");
                     saw_full = true;
                     break;
                 }
@@ -893,6 +1425,94 @@ mod tests {
         for h in handles {
             h.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_instead_of_serving_late() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        // A zero timeout is expired by the time any worker stages it.
+        let h = server
+            .submit_within(PlanId(0), vec![0.3, 0.4], Duration::ZERO)
+            .unwrap();
+        assert_eq!(h.wait(), Err(RequestError::Deadline));
+        // The shard keeps serving normally afterwards.
+        assert!(server.query(PlanId(0), &[0.3, 0.4]).is_ok());
+        let stats = server.stats(PlanId(0)).unwrap();
+        assert_eq!(stats.deadlines_expired, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn generous_default_deadline_is_invisible() {
+        let reg = test_registry();
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                default_deadline: Some(Duration::from_secs(60)),
+                ..ServeConfig::default()
+            },
+        );
+        assert!(server.query(PlanId(0), &[0.1, 0.2]).is_ok());
+        assert_eq!(server.stats(PlanId(0)).unwrap().deadlines_expired, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_budget_accepts_while_idle() {
+        let reg = test_registry();
+        // The most aggressive budget still accepts when the queue is
+        // empty: shedding is depth × cost, and depth is 0.
+        let server = CertServer::start(
+            &reg,
+            ServeConfig {
+                shed_budget: Some(Duration::ZERO),
+                ..ServeConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            server.query(PlanId(0), &[0.2, 0.8]).unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_capped_and_hint_respecting() {
+        let p = RetryPolicy::default();
+        // Pure in (policy, attempt, hint).
+        assert_eq!(p.backoff(1, Duration::ZERO), p.backoff(1, Duration::ZERO));
+        // Jitter keeps the nominal backoff within [base/2, base).
+        let b1 = p.backoff(1, Duration::ZERO);
+        assert!(b1 >= p.base / 2 && b1 < p.base, "{b1:?}");
+        // Exponential growth: retry 2's nominal window is [base, 2·base).
+        let b2 = p.backoff(2, Duration::ZERO);
+        assert!(b2 >= p.base && b2 < p.base * 2, "{b2:?}");
+        // The cap clamps deep retries.
+        assert_eq!(p.backoff(30, Duration::ZERO), p.cap);
+        // The server hint is a floor.
+        let hint = Duration::from_millis(3);
+        assert!(p.backoff(1, hint) >= hint);
+        // ... but the cap still wins.
+        assert_eq!(p.backoff(1, Duration::from_secs(9)), p.cap);
+    }
+
+    #[test]
+    fn submit_with_retry_succeeds_first_try_on_a_healthy_server() {
+        let reg = test_registry();
+        let server = CertServer::start(&reg, ServeConfig::default());
+        let h = server
+            .submit_with_retry(PlanId(0), &[0.4, 0.6], RetryPolicy::default())
+            .unwrap();
+        assert!(h.wait().is_ok());
+        let stats = server.stats(PlanId(0)).unwrap();
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.total_backoff, Duration::ZERO);
+        // Non-retryable errors surface immediately.
+        assert!(matches!(
+            server.submit_with_retry(PlanId(9), &[0.0, 0.0], RetryPolicy::default()),
+            Err(SubmitError::UnknownPlan(_))
+        ));
+        server.shutdown();
     }
 
     #[test]

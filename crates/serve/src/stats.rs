@@ -40,6 +40,14 @@ pub(crate) fn bucket_of(rows: usize) -> usize {
 /// most recent samples win).
 const RESERVOIR: usize = 4096;
 
+/// Retry-histogram buckets: which attempt a
+/// [`submit_with_retry`](crate::CertServer::submit_with_retry) backoff
+/// preceded — `1st, 2nd, 3rd, 4th, 5th, >5th` retry.
+pub const RETRY_BUCKETS: usize = 6;
+
+/// Labels aligned with the entries of [`ServeStats::retry_hist`].
+pub const RETRY_BUCKET_LABELS: [&str; RETRY_BUCKETS] = ["1", "2", "3", "4", "5", ">5"];
+
 /// Shared mutable statistics of one plan shard.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStats {
@@ -53,6 +61,19 @@ pub(crate) struct ShardStats {
     hist: [AtomicU64; BATCH_BUCKETS],
     max_queue_depth: AtomicUsize,
     latencies: Mutex<Reservoir>,
+    // Recovery and lifecycle counters (PR 7).
+    worker_restarts: AtomicU64,
+    rows_requeued: AtomicU64,
+    requests_shed: AtomicU64,
+    plans_quarantined: AtomicU64,
+    deadlines_expired: AtomicU64,
+    retries: AtomicU64,
+    retry_hist: [AtomicU64; RETRY_BUCKETS],
+    backoff_ns: AtomicU64,
+    /// EWMA of per-row flush compute cost in nanoseconds (α = 1/8),
+    /// floored at 1 ns once any flush has run — the load model behind
+    /// overload shedding and `retry_after` hints.
+    est_row_cost_ns: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -75,6 +96,60 @@ impl ShardStats {
     /// A `try_submit` bounced off a full queue.
     pub(crate) fn on_reject(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was shed by the overload budget.
+    pub(crate) fn on_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A panicked worker was respawned.
+    pub(crate) fn on_restart(&self) {
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `rows` staged-but-unanswered rows were recovered from a dead
+    /// worker and re-enqueued.
+    pub(crate) fn on_requeue(&self, rows: u64) {
+        self.rows_requeued.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// A plan crossed its strike limit and was quarantined.
+    pub(crate) fn on_quarantine(&self) {
+        self.plans_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `rows` queued requests expired past their deadline unserved.
+    pub(crate) fn on_deadline_expired(&self, rows: u64) {
+        self.deadlines_expired.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// `submit_with_retry` is about to back off before retry number
+    /// `attempt` (1-based) for `backoff_ns` nanoseconds.
+    pub(crate) fn on_retry(&self, attempt: u32, backoff_ns: u64) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        let bucket = (attempt.max(1) as usize - 1).min(RETRY_BUCKETS - 1);
+        self.retry_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Fold one flush's measured per-row compute cost into the EWMA
+    /// (α = 1/8; the first sample seeds the average directly).
+    pub(crate) fn observe_row_cost(&self, sample_ns: u64) {
+        let sample = sample_ns.max(1);
+        let old = self.est_row_cost_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            (old - old / 8 + sample / 8).max(1)
+        };
+        self.est_row_cost_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Current EWMA per-row flush cost estimate, floored at 1 ns so the
+    /// shedding product `depth × cost` is nonzero whenever the queue is.
+    pub(crate) fn est_row_cost_ns(&self) -> u64 {
+        self.est_row_cost_ns.load(Ordering::Relaxed).max(1)
     }
 
     /// A worker flushed a batch of `rows` rows whose per-request latencies
@@ -129,6 +204,10 @@ impl ShardStats {
             let idx = ((samples.len() - 1) as f64 * q).round() as usize;
             Duration::from_nanos(samples[idx])
         };
+        let mut retry_hist = [0u64; RETRY_BUCKETS];
+        for (out, bucket) in retry_hist.iter_mut().zip(&self.retry_hist) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
         let flushes = self.flushes.load(Ordering::Relaxed);
         let rows = self.rows.load(Ordering::Relaxed);
         ServeStats {
@@ -149,6 +228,14 @@ impl ShardStats {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             p50_latency: quantile(0.50),
             p99_latency: quantile(0.99),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            rows_requeued: self.rows_requeued.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            plans_quarantined: self.plans_quarantined.load(Ordering::Relaxed),
+            deadlines_expired: self.deadlines_expired.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_hist,
+            total_backoff: Duration::from_nanos(self.backoff_ns.load(Ordering::Relaxed)),
         }
     }
 }
@@ -194,6 +281,33 @@ pub struct ServeStats {
     pub p50_latency: Duration,
     /// 99th-percentile submit→response latency over the reservoir.
     pub p99_latency: Duration,
+    /// Panicked workers the shard supervisor respawned. 0 in a healthy
+    /// run — worker panics are unreachable through the public API without
+    /// the `failpoints` feature.
+    pub worker_restarts: u64,
+    /// Staged-but-unanswered rows recovered from dead workers and
+    /// re-enqueued (each later answered exactly once, or failed typed —
+    /// never dropped, never double-answered).
+    pub rows_requeued: u64,
+    /// Submissions rejected by the overload budget
+    /// ([`ServeConfig::shed_budget`](crate::ServeConfig)) with a typed
+    /// `Overloaded` error.
+    pub requests_shed: u64,
+    /// Plans quarantined after
+    /// [`max_plan_strikes`](crate::ServeConfig::max_plan_strikes)
+    /// flush panics attributed to their faulty suffix.
+    pub plans_quarantined: u64,
+    /// Queued requests that expired past their deadline unserved (failed
+    /// with a typed `Deadline` error at flush staging).
+    pub deadlines_expired: u64,
+    /// Total backoff sleeps taken by
+    /// [`submit_with_retry`](crate::CertServer::submit_with_retry).
+    pub retries: u64,
+    /// Retry histogram over the [`RETRY_BUCKET_LABELS`] buckets: which
+    /// attempt each backoff preceded.
+    pub retry_hist: [u64; RETRY_BUCKETS],
+    /// Total time spent sleeping in retry backoff.
+    pub total_backoff: Duration,
 }
 
 #[cfg(test)]
@@ -248,6 +362,40 @@ mod tests {
         // the evicted prefix.
         let expected = 100 + ((RESERVOIR - 1) as f64 * 0.5).round() as u64;
         assert_eq!(snap.p50_latency.as_nanos() as u64, expected);
+    }
+
+    #[test]
+    fn recovery_counters_and_retry_histogram_aggregate() {
+        let s = ShardStats::default();
+        s.on_restart();
+        s.on_requeue(3);
+        s.on_shed();
+        s.on_shed();
+        s.on_quarantine();
+        s.on_deadline_expired(2);
+        s.on_retry(1, 100);
+        s.on_retry(2, 200);
+        s.on_retry(9, 400); // clamps into the >5 bucket
+        let snap = s.snapshot(0);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.rows_requeued, 3);
+        assert_eq!(snap.requests_shed, 2);
+        assert_eq!(snap.plans_quarantined, 1);
+        assert_eq!(snap.deadlines_expired, 2);
+        assert_eq!(snap.retries, 3);
+        assert_eq!(snap.retry_hist, [1, 1, 0, 0, 0, 1]);
+        assert_eq!(snap.total_backoff, Duration::from_nanos(700));
+    }
+
+    #[test]
+    fn row_cost_ewma_seeds_then_smooths_with_a_floor() {
+        let s = ShardStats::default();
+        assert_eq!(s.est_row_cost_ns(), 1, "unseeded estimate is floored");
+        s.observe_row_cost(800);
+        assert_eq!(s.est_row_cost_ns(), 800, "first sample seeds the EWMA");
+        s.observe_row_cost(0); // floored sample
+        let after = s.est_row_cost_ns();
+        assert!((700..800).contains(&after), "α=1/8 decay, got {after}");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use neurofail::nn::activation::Activation;
 use neurofail::nn::builder::MlpBuilder;
 use neurofail::nn::train::{train, TrainConfig};
 use neurofail::par::Parallelism;
-use neurofail::serve::{CertServer, ServeConfig, BATCH_BUCKET_LABELS};
+use neurofail::serve::{
+    CertServer, RetryPolicy, ServeConfig, BATCH_BUCKET_LABELS, RETRY_BUCKET_LABELS,
+};
 use neurofail::tensor::init::Init;
 
 fn main() {
@@ -72,6 +74,12 @@ fn main() {
             .map(|c| {
                 let server = &server;
                 s.spawn(move || {
+                    // The hardened client path: capped-exponential retry
+                    // absorbs transient backpressure instead of failing.
+                    let policy = RetryPolicy {
+                        jitter_seed: c as u64,
+                        ..RetryPolicy::default()
+                    };
                     let mut worst = 0.0f64;
                     for q in 0..queries_per_client {
                         let x = [
@@ -79,7 +87,10 @@ fn main() {
                             (q as f64 + 0.5) / queries_per_client as f64,
                         ];
                         let plan = if q % 2 == 0 { single } else { double };
-                        worst = worst.max(server.query(plan, &x).unwrap());
+                        let handle = server
+                            .submit_with_retry(plan, &x, policy)
+                            .expect("retries exhausted");
+                        worst = worst.max(handle.wait().expect("typed failure"));
                     }
                     worst
                 })
@@ -119,7 +130,32 @@ fn main() {
         );
     }
 
-    // 5. The determinism audit: every served value must replay bitwise as
+    // 5. Resilience visibility: the supervision/degradation counters. All
+    //    zero on a healthy run — they light up under worker panics
+    //    (`--features failpoints` chaos), overload, or expiring deadlines.
+    for (name, plan) in [("single-crash", single), ("double-crash", double)] {
+        let stats = server.stats(plan).unwrap();
+        let retry_hist: Vec<String> = RETRY_BUCKET_LABELS
+            .iter()
+            .zip(&stats.retry_hist)
+            .filter(|(_, &n)| n > 0)
+            .map(|(l, n)| format!("{l}:{n}"))
+            .collect();
+        println!(
+            "{name}: restarts {}, requeued {}, shed {}, quarantined {}, \
+             deadline-expired {}, retries {} {{{}}} (backoff {:?})",
+            stats.worker_restarts,
+            stats.rows_requeued,
+            stats.requests_shed,
+            stats.plans_quarantined,
+            stats.deadlines_expired,
+            stats.retries,
+            retry_hist.join(", "),
+            stats.total_backoff
+        );
+    }
+
+    // 6. The determinism audit: every served value must replay bitwise as
     //    a direct singleton evaluation.
     let log = server.take_log();
     log.verify(&registry).expect("served ≡ direct, bitwise");

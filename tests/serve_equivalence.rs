@@ -111,6 +111,7 @@ proptest! {
             // traffic rarely prefix-matches, but when it does the reused
             // checkpoint must not change a single served bit.
             streaming_ingest,
+            ..ServeConfig::default()
         };
         let server = CertServer::start(&registry, cfg);
         if coalesce_plans {
@@ -185,6 +186,7 @@ proptest! {
             record_log: false,
             coalesce_plans: false,
             streaming_ingest: false,
+            ..ServeConfig::default()
         });
         let mix = request_mix(seed, 60, registry.len());
         let pending: Vec<_> = mix
