@@ -1,12 +1,13 @@
 //! Machine-readable performance snapshot: one JSON file
-//! (`BENCH_PR7.json`) covering the workspace's engine hot paths —
+//! (`BENCH_PR8.json`) covering the workspace's engine hot paths —
 //! campaign evaluation, training epochs, serve throughput, multi-plan
-//! evaluation, streaming input-incremental evaluation, plus per-backend
-//! GEMM and the im2col-vs-per-row Conv1d lowering — so the perf
-//! trajectory is tracked across PRs by diffable numbers rather than
-//! prose. The snapshot records which compute backend served the run and
-//! the CPU features detection saw, so numbers are only compared across
-//! like machines.
+//! evaluation, streaming input-incremental evaluation, the persistent
+//! artifact store's cold-vs-warm measured search and serve warm start,
+//! plus per-backend GEMM and the im2col-vs-per-row Conv1d lowering — so
+//! the perf trajectory is tracked across PRs by diffable numbers rather
+//! than prose. The snapshot records which compute backend served the run
+//! and the CPU features detection saw, so numbers are only compared
+//! across like machines.
 //!
 //! Usage:
 //!
@@ -23,19 +24,20 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use neurofail_core::measured_crash_thresholds;
 use neurofail_data::dataset::Dataset;
 use neurofail_data::rng::rng;
 use neurofail_inject::exhaustive::Combinations;
 use neurofail_inject::{
-    output_error_many, run_campaign, CampaignConfig, CompiledPlan, FaultSpec, InjectionPlan,
-    MultiPlanEvaluator, PlanRegistry, StreamingEvaluator, TrialKind,
+    output_error_many, run_campaign, ArtifactStore, CampaignConfig, CheckpointCache, CompiledPlan,
+    FaultSpec, InjectionPlan, MultiPlanEvaluator, PlanRegistry, StreamingEvaluator, TrialKind,
 };
 use neurofail_nn::activation::Activation;
 use neurofail_nn::builder::MlpBuilder;
 use neurofail_nn::train::{train, TrainConfig};
 use neurofail_nn::{BatchWorkspace, Mlp};
 use neurofail_par::Parallelism;
-use neurofail_serve::{CertServer, ServeConfig};
+use neurofail_serve::{share_store, CertServer, ServeConfig};
 use neurofail_tensor::backend;
 use neurofail_tensor::init::Init;
 use neurofail_tensor::Matrix;
@@ -75,6 +77,34 @@ struct Snapshot {
     /// values mean the measurement itself rode through worker restarts,
     /// shedding or retries, and is not comparable to a clean snapshot.
     serve_recovery: ServeRecovery,
+    /// Warm-start accounting for the persistent artifact store runs.
+    artifact_store: ArtifactStoreReport,
+}
+
+/// What the persistent store actually did during the `measured_search_*`
+/// and serve warm-start runs. A healthy snapshot has `warm_hits` and
+/// `serve_warm_hits` nonzero with zero `verify_rejects` — the CI smoke
+/// gate checks exactly that.
+#[derive(Debug, Default, Serialize)]
+struct ArtifactStoreReport {
+    /// Disk-tier hits during the warm measured search (1 per rep: one
+    /// verified checkpoint rehydration replaces the whole nominal pass).
+    warm_hits: u64,
+    /// Disk-tier misses during the warm search (0 on a healthy run).
+    warm_misses: u64,
+    /// Bitwise-verification rejects across all store runs (0 = no
+    /// corruption observed).
+    verify_rejects: u64,
+    /// Rows x depth of nominal compute the warm search skipped.
+    nominal_rows_saved: u64,
+    /// Records and bytes resident after the runs.
+    entries: u64,
+    bytes: u64,
+    /// Store-tier flush hits observed by a *restarted* server replaying
+    /// known traffic over the populated store (serve warm start).
+    serve_warm_hits: u64,
+    /// Rows x depth of nominal compute the restarted server skipped.
+    serve_warm_rows_reused: u64,
 }
 
 /// Recovery/degradation counters aggregated over the serve run's shards.
@@ -363,6 +393,122 @@ fn streaming_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
     ]
 }
 
+/// The persistent artifact store: a `measured_crash_thresholds` search
+/// cold (empty directory, every checkpoint computed and published) vs
+/// warm (fresh cache and store handle over the populated directory — the
+/// restarted-process situation), plus a serve warm start: a restarted
+/// server replaying known traffic against the store its predecessor
+/// populated.
+fn store_metrics(smoke: bool, reps: usize) -> (Vec<Metric>, ArtifactStoreReport) {
+    let (depth, width, rows) = if smoke { (2, 8, 8) } else { (3, 14, 32) };
+    let net = Arc::new(deep_net(depth, width, 8, 0xA7));
+    let xs = {
+        let mut r = rng(0xA8);
+        Matrix::from_fn(rows, 8, |_, _| rand::Rng::gen_range(&mut r, 0.0..=1.0))
+    };
+    let dir = std::env::temp_dir().join(format!("nf-perf-store-{}", std::process::id()));
+    let eps_primes = [0.05, 0.2, 0.5];
+    let search_units = (rows * depth) as u64;
+    let mut report = ArtifactStoreReport::default();
+
+    // Cold: the directory is wiped per rep, so every rep pays the full
+    // nominal compute plus the publish.
+    let cold = best_of(reps, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = CheckpointCache::new(2);
+        cache.attach_store(ArtifactStore::open(&dir).expect("store opens"));
+        measured_crash_thresholds(&net, 0, &xs, 1.0, &eps_primes, 1.0, &mut cache)
+    });
+    // Warm: a fresh cache and store handle over the populated directory.
+    let warm = best_of(reps, || {
+        let mut cache = CheckpointCache::new(2);
+        cache.attach_store(ArtifactStore::open(&dir).expect("store opens"));
+        let out = measured_crash_thresholds(&net, 0, &xs, 1.0, &eps_primes, 1.0, &mut cache);
+        let s = cache.store_stats().expect("store attached");
+        report.warm_hits += s.hits;
+        report.warm_misses += s.misses;
+        report.verify_rejects += s.verify_rejects;
+        report.nominal_rows_saved += s.nominal_rows_saved;
+        report.entries = s.entries as u64;
+        report.bytes = s.bytes;
+        out
+    });
+
+    // Serve warm start over the same directory: server A publishes its
+    // flushes, the "restarted" server B replays the traffic from disk.
+    let mut registry = PlanRegistry::new();
+    registry
+        .register(Arc::clone(&net), &InjectionPlan::crash([(0, 1)]), 1.0)
+        .unwrap();
+    registry
+        .register(
+            Arc::clone(&net),
+            &InjectionPlan::crash([(depth - 1, 0)]),
+            1.0,
+        )
+        .unwrap();
+    let cfg = ServeConfig {
+        max_batch: 1, // one row per flush: deterministic store keys
+        workers: Parallelism::Sequential,
+        coalesce_plans: true,
+        streaming_ingest: true,
+        ..ServeConfig::default()
+    };
+    let queries = if smoke { 12 } else { 64 };
+    let traffic: Vec<[f64; 8]> = (0..queries)
+        .map(|q| std::array::from_fn(|c| (q as f64 + 0.5) / queries as f64 + 0.01 * c as f64))
+        .collect();
+    let run_server = |t0_stats: &mut Vec<neurofail_serve::ServeStats>| {
+        let server = CertServer::start_with_store(
+            &registry,
+            cfg,
+            share_store(ArtifactStore::open(&dir).expect("store opens")),
+        );
+        for (q, x) in traffic.iter().enumerate() {
+            server
+                .query(neurofail_inject::PlanId(q % 2), x)
+                .expect("valid query");
+        }
+        *t0_stats = server.shutdown();
+    };
+    let mut stats = Vec::new();
+    run_server(&mut stats); // populate
+    let warm_serve = best_of(reps, || {
+        run_server(&mut stats);
+        stats.len()
+    });
+    // Both plan routes share the one coalesced shard, so the first
+    // route's snapshot is the shard's (summing would double-count).
+    report.serve_warm_hits = stats.first().map_or(0, |s| s.store_hits);
+    report.serve_warm_rows_reused = stats.first().map_or(0, |s| s.store_rows_reused);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let metrics = vec![
+        Metric {
+            name: "measured_search_cold".into(),
+            workload: format!("L{depth} w{width} k-search over {rows} probes, empty store"),
+            seconds: cold,
+            units: search_units,
+            throughput: search_units as f64 / cold,
+        },
+        Metric {
+            name: "measured_search_warm".into(),
+            workload: format!("L{depth} w{width} k-search over {rows} probes, populated store"),
+            seconds: warm,
+            units: search_units,
+            throughput: search_units as f64 / warm,
+        },
+        Metric {
+            name: "serve_warm_start".into(),
+            workload: format!("{queries} known queries, restarted server, populated store"),
+            seconds: warm_serve,
+            units: queries as u64,
+            throughput: queries as f64 / warm_serve,
+        },
+    ];
+    (metrics, report)
+}
+
 /// Square `out = A·Wᵀ` under every supported compute backend: the raw
 /// kernel number behind every engine metric above. Units are fused
 /// multiply-adds (`m·n·k`).
@@ -454,7 +600,7 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
     let reps = if smoke { 1 } else { 3 };
 
     let (serve, serve_recovery) = serve_metric(smoke, reps);
@@ -465,11 +611,13 @@ fn main() {
     ];
     metrics.extend(multi_plan_metrics(smoke, reps));
     metrics.extend(streaming_metrics(smoke, reps));
+    let (store, artifact_store) = store_metrics(smoke, reps);
+    metrics.extend(store);
     metrics.extend(gemm_backend_metrics(smoke, reps));
     metrics.extend(conv_lowering_metrics(smoke, reps));
 
     let snapshot = Snapshot {
-        schema: "neurofail-perf/PR7".into(),
+        schema: "neurofail-perf/PR8".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         backend: backend::active_kind().name().to_string(),
         cpu_features: backend::detected_features()
@@ -478,6 +626,7 @@ fn main() {
             .collect(),
         metrics,
         serve_recovery,
+        artifact_store,
     };
     let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, &json).expect("snapshot written");

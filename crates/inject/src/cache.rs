@@ -43,6 +43,19 @@
 //! Eviction is LRU over a fixed entry capacity; [`CacheStats`] reports
 //! hits, misses, evictions, resident bytes, and the layer-rows of nominal
 //! recomputation hits avoided.
+//!
+//! ## The disk tier
+//!
+//! [`CheckpointCache::attach_store`] adds a persistent
+//! [`ArtifactStore`] below the memory tier:
+//! lookups go **memory → disk → compute**, computed checkpoints are
+//! written through, and a verified disk hit is promoted to memory. Disk
+//! hits count as [`CacheStats::store_hits`] (and as hits in the returned
+//! [`CachedCheckpoint::hit`] flag — the nominal pass was skipped), never
+//! as misses. The store applies the same bitwise-verification rule as
+//! the memory tier, so all three paths return bitwise-identical values
+//! (`tests/store_equivalence.rs`), and a corrupted store degrades to the
+//! compute path (`tests/store_corruption.rs`).
 
 use std::sync::Arc;
 
@@ -51,6 +64,7 @@ use neurofail_par::seed::splitmix64;
 use neurofail_tensor::Matrix;
 
 use crate::executor::CompiledPlan;
+use crate::store::{ArtifactStore, StoreStats};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -209,8 +223,9 @@ pub struct CachedCheckpoint<'a> {
     pub ws: &'a BatchWorkspace,
     /// Nominal outputs `F_neu(x_b)`, row-aligned with the input set.
     pub nominal_y: &'a [f64],
-    /// Whether this lookup was served from cache (`false`: the nominal
-    /// pass just ran and the entry was inserted).
+    /// Whether the nominal pass was skipped: served from memory or from
+    /// an attached disk tier (`false`: the pass just ran and the entry
+    /// was inserted).
     pub hit: bool,
 }
 
@@ -219,8 +234,14 @@ pub struct CachedCheckpoint<'a> {
 pub struct CacheStats {
     /// Lookups served from a resident checkpoint (nominal pass skipped).
     pub hits: u64,
-    /// Lookups that had to run the nominal pass.
+    /// Lookups that had to run the nominal pass. A disk-tier hit is *not*
+    /// a miss: the pass was skipped, just served from the store instead
+    /// of memory.
     pub misses: u64,
+    /// Lookups served from the attached [`ArtifactStore`] (nominal pass
+    /// skipped, checkpoint rehydrated from disk and promoted to memory).
+    /// Always 0 with no store attached.
+    pub store_hits: u64,
     /// Entries displaced by LRU pressure.
     pub evictions: u64,
     /// Checkpoints currently resident.
@@ -270,8 +291,13 @@ pub struct CheckpointCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    store_hits: u64,
     evictions: u64,
     nominal_rows_saved: u64,
+    /// Optional disk tier: consulted on memory misses, written through on
+    /// computes. `None` keeps the cache purely in-memory (the PR 5
+    /// behaviour, bit for bit).
+    store: Option<ArtifactStore>,
 }
 
 impl CheckpointCache {
@@ -287,9 +313,29 @@ impl CheckpointCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            store_hits: 0,
             evictions: 0,
             nominal_rows_saved: 0,
+            store: None,
         }
+    }
+
+    /// Attach a persistent [`ArtifactStore`] as the disk tier: lookups
+    /// become memory → disk → compute, and computed checkpoints are
+    /// written through (best effort — an I/O failure publishing never
+    /// fails the evaluation). Returns the previously attached store.
+    pub fn attach_store(&mut self, store: ArtifactStore) -> Option<ArtifactStore> {
+        self.store.replace(store)
+    }
+
+    /// Detach and return the disk tier, reverting to memory-only.
+    pub fn detach_store(&mut self) -> Option<ArtifactStore> {
+        self.store.take()
+    }
+
+    /// Counters of the attached disk tier, if any.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
     }
 
     /// The entry capacity this cache evicts against.
@@ -302,6 +348,7 @@ impl CheckpointCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            store_hits: self.store_hits,
             evictions: self.evictions,
             entries: self.entries.len(),
             bytes: self.entries.iter().map(|e| e.bytes).sum(),
@@ -333,23 +380,34 @@ impl CheckpointCache {
                     .zip(xs.data())
                     .all(|(a, b)| a.to_bits() == b.to_bits())
         });
-        let idx = match found {
+        let (idx, hit) = match found {
             Some(idx) => {
                 self.hits += 1;
                 self.nominal_rows_saved += (net.depth() * xs.rows()) as u64;
                 self.entries[idx].last_used = self.tick;
-                idx
+                (idx, true)
             }
             None => {
-                self.misses += 1;
-                // Chaos site: a panic here models the cache dying mid-insert
-                // (before any entry mutation besides the counters), so a
-                // caller that recovers the unwind can retry cleanly.
-                neurofail_par::failpoint!("cache::insert");
+                // Disk tier, before any entry mutation: a verified store
+                // hit skips the nominal pass exactly like a memory hit,
+                // and the rehydrated checkpoint is promoted to memory.
+                let store_hit = self.store.as_mut().and_then(|s| {
+                    let mut ws = BatchWorkspace::default();
+                    s.load_checkpoint(net, xs, &mut ws).map(|y| (ws, y))
+                });
+                let from_store = store_hit.is_some();
+                if !from_store {
+                    self.misses += 1;
+                    // Chaos site: a panic here models the cache dying
+                    // mid-insert (before any entry mutation besides the
+                    // counters), so a caller that recovers the unwind can
+                    // retry cleanly.
+                    neurofail_par::failpoint!("cache::insert");
+                }
                 // Reuse the evicted entry's buffers where possible: the
                 // steady state of a search alternating a few input sets
                 // through a small cache is then allocation-free.
-                let mut ws = if self.entries.len() >= self.capacity {
+                let evicted_ws = if self.entries.len() >= self.capacity {
                     self.evictions += 1;
                     let lru = self
                         .entries
@@ -358,11 +416,28 @@ impl CheckpointCache {
                         .min_by_key(|(_, e)| e.last_used)
                         .map(|(i, _)| i)
                         .expect("capacity >= 1");
-                    self.entries.swap_remove(lru).ws
+                    Some(self.entries.swap_remove(lru).ws)
                 } else {
-                    BatchWorkspace::default()
+                    None
                 };
-                let nominal_y = net.forward_batch(xs, &mut ws);
+                let (ws, nominal_y) = match store_hit {
+                    Some((ws, y)) => {
+                        self.store_hits += 1;
+                        self.nominal_rows_saved += (net.depth() * xs.rows()) as u64;
+                        (ws, y)
+                    }
+                    None => {
+                        let mut ws = evicted_ws.unwrap_or_default();
+                        let y = net.forward_batch(xs, &mut ws);
+                        // Write through, best effort: a full disk or torn
+                        // publish can cost a future warm start, never the
+                        // current evaluation.
+                        if let Some(store) = &mut self.store {
+                            let _ = store.publish_checkpoint(net, xs, &ws, &y);
+                        }
+                        (ws, y)
+                    }
+                };
                 let tap_elems: usize = ws.sums.iter().map(|m| m.data().len()).sum::<usize>()
                     + ws.outs.iter().map(|m| m.data().len()).sum::<usize>();
                 let bytes =
@@ -377,14 +452,16 @@ impl CheckpointCache {
                     last_used: self.tick,
                     bytes,
                 });
-                self.entries.len() - 1
+                // A disk-tier hit reports as a hit: the nominal pass was
+                // skipped, which is the only thing `hit` promises.
+                (self.entries.len() - 1, from_store)
             }
         };
         let entry = &self.entries[idx];
         CachedCheckpoint {
             ws: &entry.ws,
             nominal_y: &entry.nominal_y,
-            hit: found.is_some(),
+            hit,
         }
     }
 
@@ -582,5 +659,43 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = CheckpointCache::new(0);
+    }
+
+    #[test]
+    fn disk_tier_serves_fresh_caches_without_a_nominal_pass() {
+        let dir = std::env::temp_dir().join(format!("nf-cache-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let net = net(11);
+        let plan = CompiledPlan::compile(&InjectionPlan::crash([(0, 1)]), &net, 1.0).unwrap();
+        let xs = points(3, 6);
+        let mut scratch = BatchWorkspace::default();
+
+        // Cache A computes once (write-through publishes to the store).
+        let mut cache_a = CheckpointCache::new(4);
+        cache_a.attach_store(crate::ArtifactStore::open(&dir).unwrap());
+        let cold = cache_a.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+        let a = cache_a.stats();
+        assert_eq!((a.misses, a.store_hits), (1, 0));
+        assert_eq!(cache_a.store_stats().unwrap().inserts, 1);
+        drop(cache_a);
+
+        // A fresh cache over the same store: zero nominal passes, bitwise
+        // the same values, accounted as a store hit.
+        let mut cache_b = CheckpointCache::new(4);
+        cache_b.attach_store(crate::ArtifactStore::open(&dir).unwrap());
+        let warm = cache_b.output_error_many(&net, &xs, std::slice::from_ref(&plan), &mut scratch);
+        for (c, w) in cold[0].iter().zip(&warm[0]) {
+            assert_eq!(c.to_bits(), w.to_bits());
+        }
+        let b = cache_b.stats();
+        assert_eq!((b.misses, b.store_hits, b.hits), (0, 1, 0));
+        assert_eq!(b.nominal_rows_saved, (net.depth() * 6) as u64);
+        // The disk hit was promoted: the next lookup is a memory hit.
+        assert!(cache_b.checkpoint(&net, &xs).hit);
+        assert_eq!(cache_b.stats().hits, 1);
+        // Detaching reverts to memory-only.
+        assert!(cache_b.detach_store().is_some());
+        assert!(cache_b.store_stats().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -46,6 +46,7 @@ pub mod multi;
 pub mod plan;
 pub mod registry;
 pub mod sampler;
+pub mod store;
 pub mod streaming;
 
 pub use cache::{input_set_hash, net_content_hash, CacheStats, CachedCheckpoint, CheckpointCache};
@@ -61,4 +62,5 @@ pub use neurofail_tensor::backend::{
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
 pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;
+pub use store::{ArtifactStore, StoreStats};
 pub use streaming::{StreamStats, StreamingEvaluator};

@@ -40,10 +40,12 @@ pub mod conv;
 pub mod layer;
 pub mod metrics;
 pub mod network;
+pub mod serialize;
 pub mod topology;
 pub mod train;
 
 pub use activation::Activation;
 pub use builder::MlpBuilder;
 pub use network::{BatchTap, BatchWorkspace, Layer, Mlp, NoBatchTap, NoTap, Tap, Workspace};
+pub use serialize::{net_from_bytes, net_to_bytes, NET_FORMAT_VERSION};
 pub use topology::Topology;

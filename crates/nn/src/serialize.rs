@@ -1,0 +1,280 @@
+//! Bitwise binary serialization of networks for the artifact store.
+//!
+//! The persistent store (`neurofail_inject::store`) keys records by a
+//! content hash of the network, but hashes are an index, never a proof:
+//! every hit is verified by comparing the *full serialized network* byte
+//! for byte. That demands a canonical encoding — one where two networks
+//! produce identical bytes exactly when they are bitwise-identical
+//! (same topology, same activation constants, same raw f64 weight bits).
+//! [`net_to_bytes`] is that encoding and [`net_from_bytes`] its fully
+//! validating inverse: decoding arbitrary (possibly corrupted) bytes
+//! returns [`DecodeError`] instead of panicking, so a damaged record can
+//! degrade to a store miss.
+//!
+//! The format is little-endian 64-bit words throughout (see
+//! [`neurofail_tensor::io`]): a version word, the layer count, then per
+//! layer a kind tag (dense/conv), the activation (tag + raw gain bits —
+//! the same `(tag, bits)` scheme the in-memory cache's content hash
+//! uses), the shape, and the raw weight/bias bits; finally the output
+//! node's weights and bias. Activation gains serialize as bit patterns,
+//! not values, so `k = 0.1` round-trips exactly.
+
+use neurofail_tensor::io::{ByteReader, ByteWriter, DecodeError};
+use neurofail_tensor::Matrix;
+
+use crate::activation::Activation;
+use crate::conv::Conv1dLayer;
+use crate::layer::DenseLayer;
+use crate::network::{Layer, Mlp};
+
+/// Format version written as the first word. Bump on any layout change:
+/// decoders reject unknown versions rather than guessing.
+pub const NET_FORMAT_VERSION: u64 = 1;
+
+const KIND_DENSE: u64 = 0;
+const KIND_CONV1D: u64 = 1;
+
+// Activation tags — deliberately the same numbering as the in-memory
+// cache's `activation_key` so the two fingerprints can never disagree
+// about which variant is which.
+const ACT_SIGMOID: u64 = 1;
+const ACT_TANH: u64 = 2;
+const ACT_RELU: u64 = 3;
+const ACT_IDENTITY: u64 = 4;
+
+fn put_activation(w: &mut ByteWriter, a: Activation) {
+    match a {
+        Activation::Sigmoid { k } => {
+            w.put_u64(ACT_SIGMOID);
+            w.put_u64(k.to_bits());
+        }
+        Activation::Tanh { k } => {
+            w.put_u64(ACT_TANH);
+            w.put_u64(k.to_bits());
+        }
+        Activation::Relu => {
+            w.put_u64(ACT_RELU);
+            w.put_u64(0);
+        }
+        Activation::Identity => {
+            w.put_u64(ACT_IDENTITY);
+            w.put_u64(0);
+        }
+    }
+}
+
+fn get_activation(r: &mut ByteReader<'_>) -> Result<Activation, DecodeError> {
+    let tag = r.get_u64()?;
+    let bits = r.get_u64()?;
+    let gain = f64::from_bits(bits);
+    match tag {
+        // Constructors downstream assume K > 0 (Lipschitz constant); a
+        // corrupted gain word must not smuggle in NaN or a non-positive K.
+        ACT_SIGMOID | ACT_TANH if !(gain.is_finite() && gain > 0.0) => {
+            Err(DecodeError("activation gain out of range"))
+        }
+        ACT_SIGMOID => Ok(Activation::Sigmoid { k: gain }),
+        ACT_TANH => Ok(Activation::Tanh { k: gain }),
+        ACT_RELU if bits == 0 => Ok(Activation::Relu),
+        ACT_IDENTITY if bits == 0 => Ok(Activation::Identity),
+        _ => Err(DecodeError("unknown activation")),
+    }
+}
+
+fn put_matrix(w: &mut ByteWriter, m: &Matrix) {
+    w.put_u64(m.rows() as u64);
+    w.put_u64(m.cols() as u64);
+    for &v in m.data() {
+        w.put_f64(v);
+    }
+}
+
+fn get_matrix(r: &mut ByteReader<'_>) -> Result<Matrix, DecodeError> {
+    let rows = r.get_len(1)?;
+    let cols = r.get_len(1)?;
+    let n = rows
+        .checked_mul(cols)
+        .filter(|&n| n.checked_mul(8).is_some_and(|b| b <= r.remaining()))
+        .ok_or(DecodeError("matrix dims exceed input"))?;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.get_f64()?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Serialize a network to its canonical byte image.
+///
+/// Pure in the bits: `net_to_bytes(a) == net_to_bytes(b)` iff `a` and `b`
+/// have identical topology, activations (by gain *bit pattern*), and raw
+/// weight/bias bits. This is the store's ground truth for "same network".
+pub fn net_to_bytes(net: &Mlp) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(NET_FORMAT_VERSION);
+    w.put_u64(net.depth() as u64);
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(l) => {
+                w.put_u64(KIND_DENSE);
+                put_activation(&mut w, l.activation());
+                put_matrix(&mut w, l.weights());
+                w.put_f64_slice(l.bias());
+            }
+            Layer::Conv1d(l) => {
+                w.put_u64(KIND_CONV1D);
+                put_activation(&mut w, l.activation());
+                w.put_u64(l.in_dim() as u64);
+                put_matrix(&mut w, l.kernels());
+                w.put_f64_slice(l.bias());
+            }
+        }
+    }
+    w.put_f64_slice(net.output_weights());
+    w.put_f64(net.output_bias());
+    w.into_bytes()
+}
+
+/// Decode a network from bytes produced by [`net_to_bytes`].
+///
+/// Fully validating: truncation, trailing garbage, unknown tags,
+/// inconsistent shapes (chained layer dims, bias lengths, output-weight
+/// count) and out-of-range activation gains all return [`DecodeError`].
+/// Never panics on arbitrary input — every invariant `Mlp::new` would
+/// assert is checked here first and surfaced as an error.
+pub fn net_from_bytes(bytes: &[u8]) -> Result<Mlp, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u64()? != NET_FORMAT_VERSION {
+        return Err(DecodeError("unsupported net format version"));
+    }
+    let depth = r.get_len(8)?;
+    if depth == 0 {
+        return Err(DecodeError("network has no layers"));
+    }
+    let mut layers = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let kind = r.get_u64()?;
+        let activation = get_activation(&mut r)?;
+        let layer = match kind {
+            KIND_DENSE => {
+                let weights = get_matrix(&mut r)?;
+                let bias = r.get_f64_vec()?;
+                if !(bias.is_empty() || bias.len() == weights.rows()) {
+                    return Err(DecodeError("dense bias length mismatch"));
+                }
+                if weights.rows() == 0 || weights.cols() == 0 {
+                    return Err(DecodeError("empty dense layer"));
+                }
+                Layer::Dense(DenseLayer::new(weights, bias, activation))
+            }
+            KIND_CONV1D => {
+                let in_len = r.get_len(1)?;
+                let kernels = get_matrix(&mut r)?;
+                let bias = r.get_f64_vec()?;
+                if kernels.rows() == 0 || kernels.cols() == 0 || kernels.cols() > in_len {
+                    return Err(DecodeError("conv kernel shape out of range"));
+                }
+                if !(bias.is_empty() || bias.len() == kernels.rows()) {
+                    return Err(DecodeError("conv bias length mismatch"));
+                }
+                Layer::Conv1d(Conv1dLayer::new(kernels, bias, activation, in_len))
+            }
+            _ => return Err(DecodeError("unknown layer kind")),
+        };
+        if let Some(prev) = layers.last() {
+            let prev: &Layer = prev;
+            if prev.out_dim() != layer.in_dim() {
+                return Err(DecodeError("layer dimension chain broken"));
+            }
+        }
+        layers.push(layer);
+    }
+    let output_weights = r.get_f64_vec()?;
+    let output_bias = r.get_f64()?;
+    if output_weights.len() != layers.last().expect("non-empty").out_dim() {
+        return Err(DecodeError("output weight count mismatch"));
+    }
+    if !r.is_exhausted() {
+        return Err(DecodeError("trailing bytes after network"));
+    }
+    Ok(Mlp::new(layers, output_weights, output_bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MlpBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_nets() -> Vec<Mlp> {
+        let mut rng = SmallRng::seed_from_u64(0x5e71a);
+        let dense = MlpBuilder::new(4)
+            .dense(6, Activation::Sigmoid { k: 0.1 })
+            .dense(3, Activation::Tanh { k: 0.25 })
+            .build(&mut rng);
+        let mixed = MlpBuilder::new(8)
+            .conv1d(2, 3, Activation::Relu)
+            .dense(5, Activation::Identity)
+            .build(&mut rng);
+        vec![dense, mixed]
+    }
+
+    #[test]
+    fn round_trip_is_bitwise() {
+        for net in sample_nets() {
+            let bytes = net_to_bytes(&net);
+            let back = net_from_bytes(&bytes).expect("round trip");
+            // PartialEq on Mlp compares weights by value; the bitwise claim
+            // is that re-encoding yields the identical byte image.
+            assert_eq!(net_to_bytes(&back), bytes);
+            assert_eq!(back, net);
+        }
+    }
+
+    #[test]
+    fn encoding_distinguishes_weight_bits() {
+        let net = &sample_nets()[0];
+        let a = net_to_bytes(net);
+        let mut tweaked = net.clone();
+        match &mut tweaked.layers_mut()[0] {
+            Layer::Dense(l) => {
+                let w = l.weights_mut().data_mut();
+                w[0] = f64::from_bits(w[0].to_bits() ^ 1); // one ulp
+            }
+            Layer::Conv1d(_) => unreachable!(),
+        }
+        assert_ne!(net_to_bytes(&tweaked), a);
+    }
+
+    #[test]
+    fn decode_never_panics_on_damage() {
+        for net in sample_nets() {
+            let bytes = net_to_bytes(&net);
+            // Every truncation point fails cleanly.
+            for cut in 0..bytes.len() {
+                assert!(net_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+            // Trailing garbage is rejected.
+            let mut ext = bytes.clone();
+            ext.extend_from_slice(&[0u8; 8]);
+            assert!(net_from_bytes(&ext).is_err());
+            // Header word corruptions fail cleanly (flipping payload f64
+            // bits may still decode — that is the checksum's job, not the
+            // shape validator's).
+            for word in 0..4 {
+                let mut bad = bytes.clone();
+                bad[word * 8] ^= 0xFF;
+                let _ = net_from_bytes(&bad); // must not panic
+            }
+        }
+        // An activation gain word corrupted to a negative/NaN K is rejected.
+        let net = &sample_nets()[0];
+        let mut bytes = net_to_bytes(net);
+        // Words: version, depth, kind, act-tag, act-gain — gain is word 4.
+        bytes[4 * 8..5 * 8].copy_from_slice(&f64::NEG_INFINITY.to_bits().to_le_bytes());
+        assert_eq!(
+            net_from_bytes(&bytes),
+            Err(DecodeError("activation gain out of range"))
+        );
+    }
+}

@@ -119,7 +119,8 @@ pub use neurofail_tensor::backend::{
 };
 pub use replay::{LogEntry, ReplayError, RequestLog};
 pub use server::{
-    CertServer, RequestError, ResponseHandle, RetryPolicy, ServedResponse, SubmitError,
+    share_store, CertServer, RequestError, ResponseHandle, RetryPolicy, ServedResponse,
+    SharedArtifactStore, SubmitError,
 };
 pub use stats::{
     ServeStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS, RETRY_BUCKETS, RETRY_BUCKET_LABELS,

@@ -62,8 +62,8 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use neurofail_inject::{PlanId, PlanRegistry, RegisteredPlan};
-use neurofail_nn::{BatchWorkspace, NoBatchTap};
+use neurofail_inject::{ArtifactStore, PlanId, PlanRegistry, RegisteredPlan};
+use neurofail_nn::{BatchWorkspace, Mlp, NoBatchTap};
 use neurofail_par::channel::{self, TrySendError};
 use neurofail_par::seed::splitmix64;
 use neurofail_tensor::Matrix;
@@ -457,6 +457,12 @@ struct ShardShared {
     strikes: Vec<AtomicU32>,
     /// Per-plan-slot quarantine flags (set at `max_plan_strikes`).
     quarantined: Vec<AtomicBool>,
+    /// Shared persistent checkpoint tier
+    /// ([`CertServer::start_with_store`]): flush nominal passes are
+    /// looked up here before computing, and computed checkpoints are
+    /// published back — so shard-mates, respawned workers, and future
+    /// processes reuse each other's flushes. `None` = compute-only.
+    store: Option<Arc<Mutex<ArtifactStore>>>,
 }
 
 /// One shard: the queue's send side, the supervisor handle, and the
@@ -468,6 +474,19 @@ struct Shard {
     supervisor: Option<JoinHandle<()>>,
     shared: Arc<ShardShared>,
     input_dim: usize,
+}
+
+/// A persistent [`ArtifactStore`] shared across shards — and, by opening
+/// the same directory again, across server restarts
+/// ([`CertServer::start_with_store`]).
+pub type SharedArtifactStore = Arc<Mutex<ArtifactStore>>;
+
+/// Wrap an opened [`ArtifactStore`] for [`CertServer::start_with_store`].
+///
+/// Lives here so deployments don't need a direct `parking_lot` dependency
+/// just to build the shared handle.
+pub fn share_store(store: ArtifactStore) -> SharedArtifactStore {
+    Arc::new(Mutex::new(store))
 }
 
 /// The async certification server: registered plans behind supervised
@@ -498,6 +517,35 @@ impl CertServer {
     /// On nonsensical `cfg` (zero `max_batch`, `queue_capacity` or
     /// `max_plan_strikes`).
     pub fn start(registry: &PlanRegistry, cfg: ServeConfig) -> CertServer {
+        Self::start_inner(registry, cfg, None)
+    }
+
+    /// [`start`](Self::start), with a shared persistent checkpoint tier:
+    /// every shard consults `store` before running a flush's nominal pass
+    /// and publishes freshly computed checkpoints back. With a populated
+    /// store, the server's **first** query over a known input set is
+    /// served without any nominal forward pass (a warm start —
+    /// [`ServeStats::store_hits`]); and because the store outlives
+    /// workers, shard-mates and restarted workers reuse each other's
+    /// flushes where per-worker streaming-ingest state cannot.
+    ///
+    /// The store's own contract keeps this safe: hits are bitwise-verified
+    /// against the stored network and input set, so served values are
+    /// bitwise identical to compute, and store damage degrades to a
+    /// compute (`tests/serve_equivalence.rs`, `tests/store_corruption.rs`).
+    pub fn start_with_store(
+        registry: &PlanRegistry,
+        cfg: ServeConfig,
+        store: Arc<Mutex<ArtifactStore>>,
+    ) -> CertServer {
+        Self::start_inner(registry, cfg, Some(store))
+    }
+
+    fn start_inner(
+        registry: &PlanRegistry,
+        cfg: ServeConfig,
+        store: Option<Arc<Mutex<ArtifactStore>>>,
+    ) -> CertServer {
         cfg.validate();
         let log = cfg
             .record_log
@@ -547,6 +595,7 @@ impl CertServer {
                     current_slot: (0..workers).map(|_| AtomicUsize::new(SLOT_NONE)).collect(),
                     strikes: (0..plan_count).map(|_| AtomicU32::new(0)).collect(),
                     quarantined: (0..plan_count).map(|_| AtomicBool::new(false)).collect(),
+                    store: store.clone(),
                 });
                 let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
                     .map(|w| Some(spawn_worker(&shared, w, Vec::new(), ctl_tx.clone())))
@@ -986,6 +1035,25 @@ fn supervisor_loop(
 /// stages every batch into the shard's per-worker in-flight table before
 /// computing, and answers each row by *taking* it out — the invariant the
 /// supervisor's recovery rests on (see the [module docs](self)).
+/// Best-effort write-through of a flush's nominal checkpoint to the
+/// shared store tier. Failure (a full disk, a torn publish under chaos)
+/// can cost a future warm start, never the current flush — the computed
+/// checkpoint in `ws` stays authoritative either way.
+fn publish_checkpoint_to(
+    store: &Option<Arc<Mutex<ArtifactStore>>>,
+    stats: &ShardStats,
+    net: &Mlp,
+    xs: &Matrix,
+    ws: &BatchWorkspace,
+    nominal: &[f64],
+) {
+    if let Some(store) = store {
+        if let Ok(true) = store.lock().publish_checkpoint(net, xs, ws, nominal) {
+            stats.on_store_publish();
+        }
+    }
+}
+
 fn worker_loop(
     shared: Arc<ShardShared>,
     w: usize,
@@ -1132,11 +1200,34 @@ fn worker_loop(
                 let ys =
                     net.extend_batch_with(&mut ws_nominal, &mut chunk_ck, &mut NoBatchTap, &tail);
                 nominal.extend_from_slice(&ys);
+                // The grown checkpoint is new content: publish it so
+                // shard-mates and future workers can start from it.
+                publish_checkpoint_to(&shared.store, stats, &net, &xs, &ws_nominal, &nominal);
             }
             (prev_rows * net.depth()) as u64
         } else {
+            // This worker's own streaming state can't serve the flush —
+            // but the shared store tier might: a shard-mate, a previous
+            // worker incarnation, or an earlier process may have published
+            // this exact `(net, xs)` checkpoint. A verified store hit
+            // rehydrates `ws_nominal` bitwise, so the resumes below cannot
+            // tell it from a fresh pass; any store damage degrades to the
+            // compute path.
+            let store_y = shared
+                .store
+                .as_ref()
+                .and_then(|s| s.lock().load_checkpoint(&net, &xs, &mut ws_nominal));
             nominal.clear();
-            nominal.extend(net.forward_batch(&xs, &mut ws_nominal));
+            match store_y {
+                Some(ys) => {
+                    nominal.extend(ys);
+                    stats.on_store_hit((rows * net.depth()) as u64);
+                }
+                None => {
+                    nominal.extend(net.forward_batch(&xs, &mut ws_nominal));
+                    publish_checkpoint_to(&shared.store, stats, &net, &xs, &ws_nominal, &nominal);
+                }
+            }
             0
         };
         neurofail_par::failpoint!("serve::mid_flush");

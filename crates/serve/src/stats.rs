@@ -74,6 +74,10 @@ pub(crate) struct ShardStats {
     /// floored at 1 ns once any flush has run — the load model behind
     /// overload shedding and `retry_after` hints.
     est_row_cost_ns: AtomicU64,
+    // Artifact-store tier counters (PR 8).
+    store_hits: AtomicU64,
+    store_rows_reused: AtomicU64,
+    store_publishes: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +135,19 @@ impl ShardStats {
         let bucket = (attempt.max(1) as usize - 1).min(RETRY_BUCKETS - 1);
         self.retry_hist[bucket].fetch_add(1, Ordering::Relaxed);
         self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// A flush's nominal pass was served from the shared artifact store:
+    /// `rows_reused` layer-rows of nominal recomputation skipped.
+    pub(crate) fn on_store_hit(&self, rows_reused: u64) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.store_rows_reused
+            .fetch_add(rows_reused, Ordering::Relaxed);
+    }
+
+    /// A flush published its freshly computed checkpoint to the store.
+    pub(crate) fn on_store_publish(&self) {
+        self.store_publishes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fold one flush's measured per-row compute cost into the EWMA
@@ -236,6 +253,9 @@ impl ShardStats {
             retries: self.retries.load(Ordering::Relaxed),
             retry_hist,
             total_backoff: Duration::from_nanos(self.backoff_ns.load(Ordering::Relaxed)),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_rows_reused: self.store_rows_reused.load(Ordering::Relaxed),
+            store_publishes: self.store_publishes.load(Ordering::Relaxed),
         }
     }
 }
@@ -308,6 +328,19 @@ pub struct ServeStats {
     pub retry_hist: [u64; RETRY_BUCKETS],
     /// Total time spent sleeping in retry backoff.
     pub total_backoff: Duration,
+    /// Flushes whose *entire* nominal pass was served from the shared
+    /// artifact store ([`CertServer::start_with_store`](crate::CertServer))
+    /// — a warm start: the flush ran zero nominal forward rows. Always 0
+    /// without a store attached.
+    pub store_hits: u64,
+    /// Layer-rows of nominal recomputation those store hits skipped
+    /// (`rows × depth` per hit — the
+    /// [`StoreStats::nominal_rows_saved`](neurofail_inject::StoreStats)
+    /// accounting, seen from the serving side).
+    pub store_rows_reused: u64,
+    /// Freshly computed flush checkpoints published to the store (what
+    /// warm-starts shard-mates and future workers).
+    pub store_publishes: u64,
 }
 
 #[cfg(test)]

@@ -25,10 +25,12 @@
 
 pub mod backend;
 pub mod init;
+pub mod io;
 pub mod matrix;
 pub mod ops;
 pub mod stats;
 
 pub use backend::{BackendKind, ComputeBackend};
+pub use io::{checksum64, ByteReader, ByteWriter, DecodeError, MappedFile};
 pub use matrix::Matrix;
 pub use stats::{OnlineStats, Summary};

@@ -13,12 +13,13 @@
 use std::sync::Arc;
 
 use neurofail::data::rng::rng;
+use neurofail::inject::ArtifactStore;
 use neurofail::inject::{ByzantineStrategy, InjectionPlan, PlanId, PlanRegistry};
 use neurofail::nn::activation::Activation;
 use neurofail::nn::builder::MlpBuilder;
 use neurofail::nn::{BatchWorkspace, Mlp};
 use neurofail::par::Parallelism;
-use neurofail::serve::{CertServer, ServeConfig};
+use neurofail::serve::{share_store, CertServer, ServeConfig};
 use neurofail::tensor::init::Init;
 use proptest::prelude::*;
 use rand::Rng;
@@ -206,4 +207,86 @@ proptest! {
             prop_assert_eq!(value.to_bits(), direct.to_bits());
         }
     }
+}
+
+/// The persistent store tier closes the streaming-ingest lifecycle gap:
+/// per-worker prefix state dies with its worker, but flushes published to
+/// the shared [`ArtifactStore`] outlive it. A restarted server opening the
+/// same directory serves the whole repeated query set without a single
+/// nominal forward pass — and without one bit of difference.
+#[test]
+fn restarted_server_warm_starts_from_shared_store() {
+    let dir = std::env::temp_dir().join(format!("nf-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let net = Arc::new(build_net(41, 3, 6));
+    let registry = build_registry(Arc::clone(&net), 41);
+    let cfg = ServeConfig {
+        // One row per flush: every flush's store key is exactly one query
+        // input, so the warm run's keys deterministically match the cold
+        // run's regardless of arrival timing.
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_capacity: 64,
+        workers: Parallelism::Sequential,
+        record_log: false,
+        // All three plans share the net, so one shard (and one checkpoint
+        // per input) serves them all.
+        coalesce_plans: true,
+        streaming_ingest: true,
+        ..ServeConfig::default()
+    };
+    let mix = request_mix(41, 18, registry.len());
+
+    // Cold server: every flush computes its nominal pass and publishes it.
+    let server_a = CertServer::start_with_store(
+        &registry,
+        cfg,
+        share_store(ArtifactStore::open(&dir).unwrap()),
+    );
+    let served_a: Vec<f64> = mix
+        .iter()
+        .map(|(plan, input)| server_a.query(*plan, input).unwrap())
+        .collect();
+    let stats_a = server_a.shutdown().remove(0);
+    assert_eq!(stats_a.store_hits, 0, "cold run cannot hit its own store");
+    assert_eq!(
+        stats_a.store_publishes,
+        mix.len() as u64,
+        "every distinct cold flush publishes its checkpoint"
+    );
+
+    // Restarted server — a fresh store handle over the same directory, as
+    // a new process would open. Every flush's nominal pass is served from
+    // the store: zero forward passes, full rows×depth reuse accounting.
+    let server_b = CertServer::start_with_store(
+        &registry,
+        cfg,
+        share_store(ArtifactStore::open(&dir).unwrap()),
+    );
+    let served_b: Vec<f64> = mix
+        .iter()
+        .map(|(plan, input)| server_b.query(*plan, input).unwrap())
+        .collect();
+    let stats_b = server_b.shutdown().remove(0);
+    assert_eq!(
+        stats_b.store_hits,
+        mix.len() as u64,
+        "warm run serves every flush from the store"
+    );
+    assert_eq!(stats_b.store_publishes, 0, "nothing new to publish warm");
+    assert_eq!(
+        stats_b.store_rows_reused,
+        (mix.len() * net.depth()) as u64,
+        "reuse accounting is exact: one row × depth per warm flush"
+    );
+
+    // Warm values are bitwise the cold values, and both are bitwise the
+    // direct singleton evaluation — the store tier is invisible in data.
+    let mut ws = BatchWorkspace::default();
+    for (i, (plan, input)) in mix.iter().enumerate() {
+        let direct = registry.get(*plan).unwrap().eval_singleton(input, &mut ws);
+        assert_eq!(served_a[i].to_bits(), direct.to_bits(), "cold vs direct");
+        assert_eq!(served_b[i].to_bits(), direct.to_bits(), "warm vs direct");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,252 @@
+//! Cross-process store discipline — the advisory-lock contract, checked
+//! with *real* second processes (re-invocations of this test binary):
+//!
+//! * the advisory `LOCK` file serializes writers across processes: a
+//!   publish in another process blocks while this one holds the lock and
+//!   lands intact once it is released;
+//! * readers never block on a stale lock: a writer that dies holding the
+//!   lock (the OS releases advisory locks on process death) leaves a
+//!   store that opens and serves immediately;
+//! * a publisher evicting under a tight byte budget in one process while
+//!   another process reads the same directory produces no verify-reject
+//!   storm — a concurrently evicted record is a clean miss, never a
+//!   corruption report, and never a wrong bit.
+//!
+//! Child roles are dispatched through the `NF_STORE_CHILD` env var onto
+//! the `#[ignore]`d `child_worker` test below, spawned via
+//! `std::process::Command` on `current_exe()`.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use neurofail::data::rng::rng;
+use neurofail::inject::ArtifactStore;
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::{BatchWorkspace, Mlp};
+use neurofail::tensor::init::Init;
+use neurofail::tensor::Matrix;
+use rand::Rng;
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nf-store-lock-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The shared fixture both processes rebuild deterministically.
+fn fixture_net() -> Arc<Mlp> {
+    Arc::new(
+        MlpBuilder::new(3)
+            .dense(6, Activation::Sigmoid { k: 1.1 })
+            .dense(5, Activation::Tanh { k: 0.9 })
+            .init(Init::Uniform { a: 0.7 })
+            .build(&mut rng(0x10C4)),
+    )
+}
+
+/// Probe set `i` of the shared fixture.
+fn fixture_probes(i: u64) -> Matrix {
+    let mut r = rng(0xBEE5 ^ i);
+    Matrix::from_fn(4, 3, |_, _| r.gen_range(-1.0..=1.0))
+}
+
+fn checkpoint_of(net: &Mlp, xs: &Matrix) -> (BatchWorkspace, Vec<f64>) {
+    let mut ws = BatchWorkspace::default();
+    let y = net.forward_batch(xs, &mut ws);
+    (ws, y)
+}
+
+/// Spawn this test binary again as `role`, pointed at `dir`.
+fn spawn_child(role: &str, dir: &Path) -> Child {
+    Command::new(std::env::current_exe().expect("test binary path"))
+        .args(["child_worker", "--ignored", "--exact"])
+        .env("NF_STORE_CHILD", role)
+        .env("NF_STORE_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child process")
+}
+
+/// The other process. Ignored under a normal test run; the parent tests
+/// re-invoke the binary with `NF_STORE_CHILD` set to pick a role.
+#[test]
+#[ignore = "child-process helper, spawned by the tests below"]
+fn child_worker() {
+    let Ok(role) = std::env::var("NF_STORE_CHILD") else {
+        return;
+    };
+    let dir = PathBuf::from(std::env::var("NF_STORE_DIR").expect("NF_STORE_DIR set"));
+    let net = fixture_net();
+    match role.as_str() {
+        // Publish probe set 0 — blocking on the advisory lock if the
+        // parent holds it.
+        "publish-one" => {
+            let xs = fixture_probes(0);
+            let (ws, y) = checkpoint_of(&net, &xs);
+            let mut store = ArtifactStore::open(&dir).unwrap();
+            store.publish_checkpoint(&net, &xs, &ws, &y).unwrap();
+        }
+        // Die while holding the advisory lock: the OS must release it.
+        "die-holding-lock" => {
+            let f = File::options()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(dir.join("LOCK"))
+                .unwrap();
+            f.lock().unwrap();
+            std::process::abort();
+        }
+        // Churn: publish many probe sets against a tight byte budget,
+        // evicting continuously while the parent reads.
+        "churn-publisher" => {
+            let mut store = ArtifactStore::open(&dir)
+                .unwrap()
+                .with_byte_budget(3 * 1024);
+            for round in 0..40u64 {
+                let xs = fixture_probes(round % 8);
+                let (ws, y) = checkpoint_of(&net, &xs);
+                let _ = store.publish_checkpoint(&net, &xs, &ws, &y);
+            }
+        }
+        other => panic!("unknown child role {other}"),
+    }
+}
+
+/// Writers in different processes serialize on the advisory lock: while
+/// this process holds it, a child's publish cannot land; on release it
+/// completes and the record reads back bitwise.
+#[test]
+fn advisory_lock_serializes_writers_across_processes() {
+    let dir = store_dir("serialize");
+    // Create the directory (and lock file) the way a store would.
+    drop(ArtifactStore::open(&dir).unwrap());
+    let net = fixture_net();
+    let xs = fixture_probes(0);
+    let (_, y) = checkpoint_of(&net, &xs);
+
+    let held = File::options()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join("LOCK"))
+        .unwrap();
+    held.lock().unwrap();
+
+    let mut child = spawn_child("publish-one", &dir);
+    // Generous beat: the child reaches its open()/publish lock wait.
+    std::thread::sleep(Duration::from_millis(400));
+    let published_early = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.path().extension().is_some_and(|x| x == "rec"));
+    assert!(
+        !published_early,
+        "child published while the parent held the advisory lock"
+    );
+    assert!(
+        child.try_wait().unwrap().is_none(),
+        "child exited without publishing"
+    );
+
+    drop(held); // release: the child's publish may now proceed
+    let status = child.wait().unwrap();
+    assert!(status.success(), "child publish failed after release");
+    let mut store = ArtifactStore::open(&dir).unwrap();
+    let mut ws = BatchWorkspace::default();
+    let got = store
+        .load_checkpoint(&net, &xs, &mut ws)
+        .expect("child's record landed");
+    for (g, e) in got.iter().zip(&y) {
+        assert_eq!(g.to_bits(), e.to_bits(), "cross-process record is bitwise");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A writer that dies holding the lock leaves no wedge: the OS releases
+/// advisory locks with the process, so a fresh open neither errors nor
+/// blocks beyond a bounded beat.
+#[test]
+fn readers_never_block_on_a_stale_lock_after_writer_death() {
+    let dir = store_dir("stale");
+    drop(ArtifactStore::open(&dir).unwrap());
+    let mut child = spawn_child("die-holding-lock", &dir);
+    let status = child.wait().unwrap();
+    assert!(!status.success(), "child is expected to abort");
+
+    let start = Instant::now();
+    let mut store = ArtifactStore::open(&dir).expect("open after writer death");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "open blocked on a dead writer's lock"
+    );
+    // And the store is fully operational.
+    let net = fixture_net();
+    let xs = fixture_probes(1);
+    let (ws, y) = checkpoint_of(&net, &xs);
+    assert!(store.publish_checkpoint(&net, &xs, &ws, &y).unwrap());
+    let mut out = BatchWorkspace::default();
+    assert!(store.load_checkpoint(&net, &xs, &mut out).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tight-budget publisher evicting in another process while this one
+/// reads: every read is a verified bitwise hit or a clean miss — zero
+/// verify rejects (no "storm" where evictions masquerade as corruption),
+/// zero wrong bits.
+#[test]
+fn concurrent_eviction_is_a_clean_miss_never_a_reject_storm() {
+    let dir = store_dir("churn");
+    drop(ArtifactStore::open(&dir).unwrap());
+    let net = fixture_net();
+    let expected: Vec<(Matrix, Vec<f64>)> = (0..8)
+        .map(|i| {
+            let xs = fixture_probes(i);
+            let y = checkpoint_of(&net, &xs).1;
+            (xs, y)
+        })
+        .collect();
+
+    let mut child = spawn_child("churn-publisher", &dir);
+    let mut reader = ArtifactStore::open(&dir).unwrap();
+    let mut ws = BatchWorkspace::default();
+    let mut hits = 0u64;
+    loop {
+        for (xs, y) in &expected {
+            if let Some(got) = reader.load_checkpoint(&net, xs, &mut ws) {
+                hits += 1;
+                for (g, e) in got.iter().zip(y) {
+                    assert_eq!(g.to_bits(), e.to_bits(), "concurrent hit is bitwise");
+                }
+            }
+        }
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+    }
+    assert!(child.wait().unwrap().success(), "publisher child failed");
+    // One final sweep against the settled directory.
+    for (xs, y) in &expected {
+        if let Some(got) = reader.load_checkpoint(&net, xs, &mut ws) {
+            hits += 1;
+            for (g, e) in got.iter().zip(y) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+        }
+    }
+    let stats = reader.stats();
+    assert_eq!(
+        stats.verify_rejects, 0,
+        "a concurrently evicted record must read as a miss, not corruption"
+    );
+    assert!(
+        hits > 0,
+        "reader should observe at least one published record"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
