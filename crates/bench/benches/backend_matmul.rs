@@ -1,7 +1,9 @@
 //! Criterion: the compute-backend GEMM microkernels head to head —
 //! `matmul_nt` / `matmul_tn_acc` square problems per backend
-//! (`backend_matmul/*`), and the batched im2col Conv1d lowering against
-//! the per-row loop it replaced (`conv_lowering/*`). Backends that
+//! (`backend_matmul/*`), conv-shaped skinny problems through the tiny-K
+//! specialization (`backend_matmul_tiny_k/*`), and the batched im2col
+//! Conv1d lowering against the per-row loop it replaced
+//! (`conv_lowering/*`). Backends that
 //! runtime detection rules out on the host are skipped, so the report
 //! only ever contains kernels that actually ran.
 
@@ -54,6 +56,35 @@ fn bench_backend_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Conv-shaped tiny-K `matmul_nt` problems: a `(B·P) × K` im2col patch
+/// matrix against an `N × K` kernel bank, K at and around the im2col
+/// widths the conv benches lower to. These hit the tiny-K specialization
+/// (`K ≤ 16`) rather than the pack-and-tile kernel, which is tuned for
+/// deep reductions and paid ~2× overhead at kernel width 9.
+fn bench_backend_matmul_tiny_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_matmul_tiny_k");
+    for (rows, k, n) in [(2048usize, 7usize, 32usize), (4096, 9, 64), (4096, 16, 64)] {
+        let a = mat(3, rows, k);
+        let w = mat(4, n, k);
+        let mut out = Matrix::zeros(rows, n);
+        let tag = format!("r{rows}_k{k}_n{n}");
+        for kind in backend::supported_kinds() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("nt_{}", kind.name()), &tag),
+                &tag,
+                |b, _| {
+                    b.iter(|| {
+                        backend::with_backend(kind, || {
+                            black_box(&a).matmul_nt_into(black_box(&w), &mut out)
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_conv_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_lowering");
     let mut rng = SmallRng::seed_from_u64(7);
@@ -85,5 +116,10 @@ fn bench_conv_lowering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backend_matmul, bench_conv_lowering);
+criterion_group!(
+    benches,
+    bench_backend_matmul,
+    bench_backend_matmul_tiny_k,
+    bench_conv_lowering
+);
 criterion_main!(benches);

@@ -33,6 +33,12 @@
 //!   [`streaming::StreamingEvaluator`] that certifies a fixed plan family
 //!   against inputs arriving in chunks — new work proportional to
 //!   (new inputs × suffix layers), never (all inputs × all layers).
+//! * [`ir`] / [`planner`] — the **admission pipeline** (validate →
+//!   normalize → compile → cache: typed rejection, dedup of plans equal
+//!   up to fault value onto one compiled body, warm-started admission
+//!   from the [`store`]) and the cost-model [`planner::Planner`] that
+//!   picks among the five bitwise-equivalent engines per request mix
+//!   (ARCHITECTURE contract 14: planner choice is bitwise invisible).
 
 #![warn(missing_docs)]
 
@@ -42,8 +48,10 @@ pub mod campaign;
 pub mod executor;
 pub mod exhaustive;
 pub mod input_search;
+pub mod ir;
 pub mod multi;
 pub mod plan;
+pub mod planner;
 pub mod registry;
 pub mod sampler;
 pub mod store;
@@ -52,6 +60,7 @@ pub mod streaming;
 pub use cache::{input_set_hash, net_content_hash, CacheStats, CachedCheckpoint, CheckpointCache};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
 pub use executor::{CompiledPlan, PlanError};
+pub use ir::{nets_content_equal, Admission, AdmissionStats, PlanIr};
 pub use multi::{output_error_many, MultiPlanEvaluator};
 /// Compute-backend selection, re-exported so injection campaigns can pin
 /// or scope the kernel backend without depending on the tensor crate
@@ -60,6 +69,7 @@ pub use neurofail_tensor::backend::{
     active_kind, detected_features, force_backend, supported_kinds, with_backend, BackendKind,
 };
 pub use plan::{ByzantineStrategy, InjectionPlan, NeuronFault, SynapseFault};
+pub use planner::{Engine, Planner, PlannerStats, RequestMix};
 pub use registry::{PlanId, PlanRegistry, RegisteredPlan};
 pub use sampler::FaultSpec;
 pub use store::{ArtifactStore, StoreStats};

@@ -123,6 +123,24 @@ impl InjectionPlan {
         }
     }
 
+    /// Plan sticking the given `(layer, neuron)` sites at fixed values —
+    /// the canonical admission-dedup workload: every plan in a stuck-at
+    /// sweep over one site shares a compiled body, only the value slots
+    /// differ.
+    pub fn stuck_at(sites: impl IntoIterator<Item = ((usize, usize), f64)>) -> Self {
+        InjectionPlan {
+            neurons: sites
+                .into_iter()
+                .map(|((layer, neuron), v)| NeuronSite {
+                    layer,
+                    neuron,
+                    fault: NeuronFault::StuckAt(v),
+                })
+                .collect(),
+            synapses: Vec::new(),
+        }
+    }
+
     /// Plan making the given sites Byzantine with one strategy.
     pub fn byzantine(
         sites: impl IntoIterator<Item = (usize, usize)>,

@@ -1,25 +1,38 @@
-//! A registry of compiled plans ready for repeated, shared evaluation.
+//! A registry of admitted plans ready for repeated, shared evaluation.
 //!
 //! Campaigns compile a plan, use it, and drop it. Long-lived consumers —
 //! the serving engine (`neurofail-serve`), plan-sharded multi-process
-//! campaigns — instead hold a *set* of `(network, compiled plan)` pairs and
-//! route queries to them by id. [`PlanRegistry`] is that set: each
-//! [`register`](PlanRegistry::register) validates the plan against its
-//! network once (the usual compile-once contract) and returns a dense
-//! [`PlanId`], so downstream engines can shard work per plan with plain
-//! indexing and no hashing on the hot path.
+//! campaigns — instead hold a *set* of `(network, admitted plan)` pairs
+//! and route queries to them by id. [`PlanRegistry`] is that set, and
+//! since PR 9 its front door is the admission pipeline ([`crate::ir`]):
+//! each [`register`](PlanRegistry::register) validates the plan once with
+//! typed errors, dedups plans equal up to fault value onto one compiled
+//! body, and returns a dense [`PlanId`], so downstream engines can shard
+//! work per plan with plain indexing and no hashing on the hot path.
 //!
 //! Networks are held behind [`Arc`] so one trained network can back many
 //! registered plans (the common case: one net, a family of fault
-//! hypotheses) without cloning its weights per plan.
+//! hypotheses) without cloning its weights per plan. Registration also
+//! assigns each plan a **family** — the group of plans over content-equal
+//! networks (`Arc` identity *or* bitwise weight equality, proven at
+//! registration, never re-checked on the hot path) — and the batch
+//! evaluators route whole families through the cost-model
+//! [`Planner`]: per request mix the planner picks among
+//! the bitwise-equivalent engines (ARCHITECTURE contract 14), identical
+//! plans share one evaluation, and measured timings refine the cost model
+//! online.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use neurofail_nn::{BatchWorkspace, Mlp};
+use neurofail_nn::{net_to_bytes, BatchWorkspace, Mlp};
 use neurofail_tensor::Matrix;
 
 use crate::executor::{CompiledPlan, PlanError};
+use crate::ir::{Admission, AdmissionStats, PlanIr};
 use crate::plan::InjectionPlan;
+use crate::planner::{Engine, Planner, RequestMix};
+use crate::store::ArtifactStore;
 
 /// Dense identifier of a plan within a [`PlanRegistry`] (and the shard
 /// index downstream engines key their per-plan workers by).
@@ -32,22 +45,36 @@ impl std::fmt::Display for PlanId {
     }
 }
 
-/// One registered `(network, compiled plan)` pair.
+/// One registered `(network, admitted plan)` pair.
 #[derive(Debug, Clone)]
 pub struct RegisteredPlan {
     net: Arc<Mlp>,
-    compiled: CompiledPlan,
+    ir: PlanIr,
+    family: usize,
 }
 
 impl RegisteredPlan {
-    /// The network the plan was compiled against.
+    /// The network the plan was admitted against.
     pub fn net(&self) -> &Arc<Mlp> {
         &self.net
     }
 
-    /// The compiled plan.
+    /// The admitted intermediate representation: content identities,
+    /// shared body, precomputed first faulty layer.
+    pub fn ir(&self) -> &PlanIr {
+        &self.ir
+    }
+
+    /// The compiled plan (the IR's materialized executable).
     pub fn compiled(&self) -> &CompiledPlan {
-        &self.compiled
+        self.ir.compiled()
+    }
+
+    /// Index of the content-equal network family this plan belongs to
+    /// (assigned at registration; plans in one family may share nominal
+    /// passes and shards bitwise-safely).
+    pub fn family(&self) -> usize {
+        self.family
     }
 
     /// Input dimension queries against this plan must have.
@@ -78,13 +105,13 @@ impl RegisteredPlan {
         );
         xs.resize(1, x.len());
         xs.row_mut(0).copy_from_slice(x);
-        self.compiled.output_error_batch(&self.net, xs, ws)[0]
+        self.compiled().output_error_batch(&self.net, xs, ws)[0]
     }
 
     /// Batched disturbance over `xs` rows (delegates to
     /// [`CompiledPlan::output_error_batch`]).
     pub fn eval_batch(&self, xs: &Matrix, ws: &mut BatchWorkspace) -> Vec<f64> {
-        self.compiled.output_error_batch(&self.net, xs, ws)
+        self.compiled().output_error_batch(&self.net, xs, ws)
     }
 
     /// Batched disturbance through the suffix engine
@@ -101,15 +128,28 @@ impl RegisteredPlan {
         ws_nominal: &mut BatchWorkspace,
         ws_scratch: &mut BatchWorkspace,
     ) -> Vec<f64> {
-        self.compiled
+        self.compiled()
             .output_error_resumed(&self.net, xs, ws_nominal, ws_scratch)
     }
 }
 
-/// An append-only collection of compiled plans addressed by [`PlanId`].
+/// One content-equal network family: the representative `Arc` every
+/// family-grouped evaluation runs against, plus the canonical bytes that
+/// prove membership at registration time.
+#[derive(Debug, Clone)]
+struct Family {
+    net_hash: u64,
+    rep: Arc<Mlp>,
+    rep_bytes: Vec<u8>,
+}
+
+/// An append-only collection of admitted plans addressed by [`PlanId`].
 #[derive(Debug, Clone, Default)]
 pub struct PlanRegistry {
     entries: Vec<RegisteredPlan>,
+    families: Vec<Family>,
+    admission: Admission,
+    planner: Arc<Planner>,
 }
 
 impl PlanRegistry {
@@ -118,8 +158,8 @@ impl PlanRegistry {
         Self::default()
     }
 
-    /// Compile `plan` against `net` under capacity `capacity` and register
-    /// it.
+    /// Admit `plan` against `net` under capacity `capacity` and register
+    /// it (validate → normalize → compile → cache; see [`crate::ir`]).
     ///
     /// # Errors
     /// [`PlanError`] if the plan does not validate against the network.
@@ -129,16 +169,65 @@ impl PlanRegistry {
         plan: &InjectionPlan,
         capacity: f64,
     ) -> Result<PlanId, PlanError> {
-        let compiled = CompiledPlan::compile(plan, &net, capacity)?;
-        Ok(self.register_compiled(net, compiled))
+        let ir = self.admission.admit(&net, plan, capacity, None)?;
+        Ok(self.push(net, ir))
+    }
+
+    /// [`register`](Self::register) with an [`ArtifactStore`] consulted
+    /// for warm admission (a verified compiled-plan record skips the
+    /// compile) and fed newly compiled bodies.
+    ///
+    /// # Errors
+    /// As [`register`](Self::register).
+    pub fn register_with_store(
+        &mut self,
+        net: Arc<Mlp>,
+        plan: &InjectionPlan,
+        capacity: f64,
+        store: &mut ArtifactStore,
+    ) -> Result<PlanId, PlanError> {
+        let ir = self.admission.admit(&net, plan, capacity, Some(store))?;
+        Ok(self.push(net, ir))
     }
 
     /// Register an already-compiled plan (caller vouches it was compiled
-    /// against `net`).
+    /// against `net`). Runs the admission pipeline's normalize/dedup half
+    /// so even pre-compiled plans share bodies.
     pub fn register_compiled(&mut self, net: Arc<Mlp>, compiled: CompiledPlan) -> PlanId {
+        let ir = self.admission.admit_compiled(&net, compiled, None);
+        self.push(net, ir)
+    }
+
+    fn push(&mut self, net: Arc<Mlp>, ir: PlanIr) -> PlanId {
+        let family = self.family_for(&net, ir.net_hash());
         let id = PlanId(self.entries.len());
-        self.entries.push(RegisteredPlan { net, compiled });
+        self.entries.push(RegisteredPlan { net, ir, family });
         id
+    }
+
+    /// Find (or create) the family of content-equal networks `net`
+    /// belongs to — `Arc` identity first, then bitwise content proof
+    /// against the family representative. Registration-time only.
+    fn family_for(&mut self, net: &Arc<Mlp>, net_hash: u64) -> usize {
+        let mut encoded: Option<Vec<u8>> = None;
+        for (i, f) in self.families.iter().enumerate() {
+            if f.net_hash != net_hash {
+                continue;
+            }
+            if Arc::ptr_eq(&f.rep, net) {
+                return i;
+            }
+            let bytes = encoded.get_or_insert_with(|| net_to_bytes(net));
+            if &f.rep_bytes == bytes {
+                return i;
+            }
+        }
+        self.families.push(Family {
+            net_hash,
+            rep: Arc::clone(net),
+            rep_bytes: encoded.unwrap_or_else(|| net_to_bytes(net)),
+        });
+        self.families.len() - 1
     }
 
     /// Look up a registered plan.
@@ -156,75 +245,84 @@ impl PlanRegistry {
         self.entries.is_empty()
     }
 
+    /// Number of content-equal network families.
+    pub fn family_count(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Admission pipeline counters (dedup hits, bodies compiled, …).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// The planner routing this registry's batch evaluations.
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
+    }
+
+    /// Replace the planner (e.g. to share one planner across registries,
+    /// or to install a forced-engine planner in tests).
+    pub fn set_planner(&mut self, planner: Arc<Planner>) {
+        self.planner = planner;
+    }
+
     /// Iterate over `(id, entry)` pairs in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (PlanId, &RegisteredPlan)> {
         self.entries.iter().enumerate().map(|(i, e)| (PlanId(i), e))
     }
 
     /// Consume the registry, yielding entries in registration order — the
-    /// handoff a sharded engine uses to move each plan onto its worker.
+    /// handoff a sharded engine uses to move each plan onto its worker
+    /// (each entry carries its admission IR and family index).
     pub fn into_entries(self) -> Vec<RegisteredPlan> {
         self.entries
     }
 
-    /// Group `ids` positions by the network they share (`Arc` identity),
-    /// preserving first-seen order — the shared front half of
-    /// [`PlanRegistry::eval_many`] and [`PlanRegistry::eval_many_cached`].
+    /// Group `ids` positions by network family, preserving first-seen
+    /// order — the shared front half of [`PlanRegistry::eval_many`] and
+    /// [`PlanRegistry::eval_many_cached`]. Family membership was proven
+    /// at registration, so this is pure index bucketing.
     ///
     /// # Panics
     /// If any id is unregistered.
-    fn group_by_net(&self, ids: &[PlanId]) -> Vec<(&Arc<Mlp>, Vec<usize>)> {
-        let mut groups: Vec<(&Arc<Mlp>, Vec<usize>)> = Vec::new();
+    fn group_by_family(&self, ids: &[PlanId]) -> Vec<(usize, Vec<usize>)> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (pos, id) in ids.iter().enumerate() {
             let entry = self
                 .get(*id)
                 .unwrap_or_else(|| panic!("eval_many: no registered {id}"));
-            match groups
-                .iter_mut()
-                .find(|(net, _)| Arc::ptr_eq(net, &entry.net))
-            {
+            match groups.iter_mut().find(|(f, _)| *f == entry.family) {
                 Some((_, positions)) => positions.push(pos),
-                None => groups.push((&entry.net, vec![pos])),
+                None => groups.push((entry.family, vec![pos])),
             }
         }
         groups
     }
 
-    /// Evaluate many registered plans over one shared input set through
-    /// the multi-plan suffix engine: plans are grouped by the network
-    /// they share (`Arc` identity), each group pays **one** nominal pass,
-    /// and every plan resumes its faulty pass at its own first faulty
-    /// layer. Returns one disturbance vector per id, aligned with `ids`
-    /// — each **bitwise** equal to the corresponding
-    /// [`RegisteredPlan::eval_batch`] call.
-    ///
-    /// This is the batch-side mirror of the serving engine's cross-plan
-    /// coalescing: the common registry shape (one net, a family of fault
-    /// hypotheses) collapses to a single nominal pass for the whole
-    /// family.
+    /// Evaluate many registered plans over one shared input set, engine
+    /// chosen per network family by the registry's [`Planner`]: plans are
+    /// grouped by content-equal network family (one nominal pass per
+    /// family at most), identical plans (same `(net, structure, value)`
+    /// key) are evaluated once and share their result, and the measured
+    /// duration refines the planner's cost model. Returns one disturbance
+    /// vector per id, aligned with `ids` — each **bitwise** equal to the
+    /// corresponding [`RegisteredPlan::eval_batch`] call, whatever engine
+    /// the planner picked (ARCHITECTURE contract 14).
     ///
     /// # Panics
     /// If any id is unregistered, or `xs` column count mismatches a
     /// plan's network.
     pub fn eval_many(&self, ids: &[PlanId], xs: &Matrix) -> Vec<Vec<f64>> {
-        let mut results: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
-        for (net, positions) in self.group_by_net(ids) {
-            let mut eval = crate::multi::MultiPlanEvaluator::new(net, xs);
-            for pos in positions {
-                let entry = self.get(ids[pos]).expect("validated above");
-                results[pos] = eval.output_error(entry.compiled());
-            }
-        }
-        results
+        self.eval_many_inner(ids, xs, None)
     }
 
-    /// [`PlanRegistry::eval_many`] through a
-    /// [`CheckpointCache`](crate::CheckpointCache): per net group the
-    /// nominal checkpoint is looked up by `(net identity, input-set
-    /// content hash)` — so a registry re-evaluated over an input set it
-    /// has seen before (repeated tolerance searches, periodic
+    /// [`PlanRegistry::eval_many`] with a
+    /// [`CheckpointCache`](crate::CheckpointCache) available to the
+    /// planner: the nominal checkpoint is looked up by `(net content,
+    /// input-set content)` — so a registry re-evaluated over an input set
+    /// it has seen before (repeated tolerance searches, periodic
     /// re-certification sweeps) skips even the one nominal pass per
-    /// group. Results are **bitwise** identical to
+    /// family. Results are **bitwise** identical to
     /// [`PlanRegistry::eval_many`]; `scratch` absorbs the suffix
     /// recomputation.
     ///
@@ -237,18 +335,95 @@ impl PlanRegistry {
         cache: &mut crate::CheckpointCache,
         scratch: &mut BatchWorkspace,
     ) -> Vec<Vec<f64>> {
+        self.eval_many_inner(ids, xs, Some((cache, scratch)))
+    }
+
+    fn eval_many_inner(
+        &self,
+        ids: &[PlanId],
+        xs: &Matrix,
+        mut cache: Option<(&mut crate::CheckpointCache, &mut BatchWorkspace)>,
+    ) -> Vec<Vec<f64>> {
         let mut results: Vec<Vec<f64>> = vec![Vec::new(); ids.len()];
-        for (net, positions) in self.group_by_net(ids) {
-            let ck = cache.checkpoint(net, xs);
-            for pos in positions {
-                let entry = self.get(ids[pos]).expect("validated above");
-                results[pos] = entry.compiled().output_error_checkpointed(
-                    net,
-                    xs,
-                    ck.ws,
-                    ck.nominal_y,
-                    scratch,
-                );
+        for (family, positions) in self.group_by_family(ids) {
+            let net = &self.families[family].rep;
+            let depth = net.depth();
+            // Identical-plan dedup: evaluate each distinct plan key once,
+            // alias the rest (bitwise-equal by the determinism contracts).
+            let mut unique: Vec<usize> = Vec::new();
+            let mut alias: Vec<(usize, usize)> = Vec::new();
+            for &pos in &positions {
+                let key = self.entries[ids[pos].0].ir.plan_key();
+                match unique
+                    .iter()
+                    .position(|&u| self.entries[ids[u].0].ir.plan_key() == key)
+                {
+                    Some(u) => alias.push((pos, u)),
+                    None => unique.push(pos),
+                }
+            }
+            self.planner.note_dedup(alias.len() as u64);
+            let suffix_layers: usize = unique
+                .iter()
+                .map(|&pos| depth - self.entries[ids[pos].0].ir.first_faulty_layer())
+                .sum();
+            let mix = RequestMix {
+                rows: xs.rows(),
+                plans: unique.len(),
+                depth,
+                suffix_layers,
+                cache_available: cache.is_some(),
+                cache_resident: cache.as_ref().is_some_and(|(c, _)| c.contains(net, xs)),
+                stream_prefix_rows: 0,
+            };
+            let engine = self.planner.choose(&mix);
+            let start = Instant::now();
+            match engine {
+                Engine::Cached => {
+                    let (cache, scratch) = cache.as_mut().expect("cached engine needs a cache");
+                    let ck = cache.checkpoint(net, xs);
+                    for &pos in &unique {
+                        results[pos] = self.entries[ids[pos].0]
+                            .compiled()
+                            .output_error_checkpointed(net, xs, ck.ws, ck.nominal_y, scratch);
+                    }
+                }
+                Engine::SuffixResume | Engine::Streaming => {
+                    // No ingest state lives here, so a (forced) streaming
+                    // pick runs the suffix engine — the engines share the
+                    // nominal-plus-resume shape and are bitwise equal.
+                    let mut eval = crate::multi::MultiPlanEvaluator::new(net, xs);
+                    for &pos in &unique {
+                        results[pos] = eval.output_error(self.entries[ids[pos].0].compiled());
+                    }
+                }
+                Engine::WholeBatch => {
+                    let mut ws = BatchWorkspace::default();
+                    for &pos in &unique {
+                        results[pos] = self.entries[ids[pos].0]
+                            .compiled()
+                            .output_error_batch(net, xs, &mut ws);
+                    }
+                }
+                Engine::Singleton => {
+                    let mut ws = BatchWorkspace::default();
+                    let mut row = Matrix::zeros(0, 0);
+                    for &pos in &unique {
+                        let compiled = self.entries[ids[pos].0].compiled();
+                        let mut out = Vec::with_capacity(xs.rows());
+                        for r in 0..xs.rows() {
+                            row.resize(1, xs.cols());
+                            row.row_mut(0).copy_from_slice(xs.row(r));
+                            out.push(compiled.output_error_batch(net, &row, &mut ws)[0]);
+                        }
+                        results[pos] = out;
+                    }
+                }
+            }
+            self.planner
+                .observe(engine, &mix, start.elapsed().as_nanos() as u64);
+            for (pos, u) in alias {
+                results[pos] = results[unique[u]].clone();
             }
         }
         results
@@ -274,6 +449,18 @@ mod tests {
         ))
     }
 
+    fn net_b() -> Arc<Mlp> {
+        Arc::new(Mlp::new(
+            vec![Layer::Dense(DenseLayer::new(
+                Matrix::from_vec(2, 2, vec![0.5, -0.25, 1.0, 0.75]),
+                vec![],
+                Activation::Identity,
+            ))],
+            vec![2.0, -1.0],
+            0.1,
+        ))
+    }
+
     #[test]
     fn register_assigns_dense_ids_and_shares_the_net() {
         let net = net();
@@ -295,6 +482,8 @@ mod tests {
         assert_eq!(reg.get(b).unwrap().input_dim(), 2);
         assert!(reg.get(PlanId(2)).is_none());
         assert_eq!(reg.iter().count(), 2);
+        assert_eq!(reg.family_count(), 1);
+        assert_eq!(reg.get(a).unwrap().family(), reg.get(b).unwrap().family());
     }
 
     #[test]
@@ -303,6 +492,36 @@ mod tests {
         let err = reg.register(net(), &InjectionPlan::crash([(5, 0)]), 1.0);
         assert!(matches!(err, Err(PlanError::BadNeuron { .. })));
         assert!(reg.is_empty());
+        assert_eq!(reg.admission_stats().rejected, 1);
+    }
+
+    #[test]
+    fn content_equal_nets_join_one_family_distinct_nets_do_not() {
+        let mut reg = PlanRegistry::new();
+        let a = reg
+            .register(net(), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        // A distinct Arc over a bitwise-identical net: same family.
+        let b = reg
+            .register(net(), &InjectionPlan::crash([(0, 1)]), 1.0)
+            .unwrap();
+        let c = reg
+            .register(net_b(), &InjectionPlan::crash([(0, 0)]), 1.0)
+            .unwrap();
+        assert_eq!(reg.family_count(), 2);
+        assert_eq!(reg.get(a).unwrap().family(), reg.get(b).unwrap().family());
+        assert_ne!(reg.get(a).unwrap().family(), reg.get(c).unwrap().family());
+        // Family grouping shares the nominal pass across Arcs — and the
+        // result is still bitwise per-plan evaluation.
+        let xs = Matrix::from_vec(2, 2, vec![0.4, -0.2, 0.8, 0.1]);
+        let many = reg.eval_many(&[a, b, c], &xs);
+        let mut ws = BatchWorkspace::default();
+        for (id, got) in [a, b, c].iter().zip(&many) {
+            let direct = reg.get(*id).unwrap().eval_batch(&xs, &mut ws);
+            for (g, d) in got.iter().zip(&direct) {
+                assert_eq!(g.to_bits(), d.to_bits(), "{id}");
+            }
+        }
     }
 
     #[test]
@@ -329,17 +548,10 @@ mod tests {
     #[test]
     fn eval_many_matches_per_plan_eval_batch_bitwise() {
         // Two nets, three plans (two sharing a net): eval_many must group
-        // by net identity and stay bitwise equal to per-plan evaluation.
+        // by family and stay bitwise equal to per-plan evaluation — under
+        // every forced engine, not just the planner's pick.
         let net_a = net();
-        let net_b = Arc::new(Mlp::new(
-            vec![Layer::Dense(DenseLayer::new(
-                Matrix::from_vec(2, 2, vec![0.5, -0.25, 1.0, 0.75]),
-                vec![],
-                Activation::Identity,
-            ))],
-            vec![2.0, -1.0],
-            0.1,
-        ));
+        let net_b = net_b();
         let mut reg = PlanRegistry::new();
         let a0 = reg
             .register(Arc::clone(&net_a), &InjectionPlan::crash([(0, 1)]), 1.0)
@@ -351,29 +563,25 @@ mod tests {
             .register(Arc::clone(&net_a), &InjectionPlan::none(), 1.0)
             .unwrap();
         let xs = Matrix::from_vec(3, 2, vec![0.5, 0.25, -0.4, 0.9, 0.0, 1.0]);
-        let many = reg.eval_many(&[a0, b0, a1], &xs);
         let mut ws = BatchWorkspace::default();
-        for (id, got) in [a0, b0, a1].iter().zip(&many) {
-            let direct = reg.get(*id).unwrap().eval_batch(&xs, &mut ws);
-            assert_eq!(got.len(), 3);
-            for (g, d) in got.iter().zip(&direct) {
-                assert_eq!(g.to_bits(), d.to_bits(), "{id}");
+        for forced in std::iter::once(None).chain(Engine::ALL.map(Some)) {
+            reg.planner().force(forced);
+            let many = reg.eval_many(&[a0, b0, a1], &xs);
+            for (id, got) in [a0, b0, a1].iter().zip(&many) {
+                let direct = reg.get(*id).unwrap().eval_batch(&xs, &mut ws);
+                assert_eq!(got.len(), 3);
+                for (g, d) in got.iter().zip(&direct) {
+                    assert_eq!(g.to_bits(), d.to_bits(), "{id} forced={forced:?}");
+                }
             }
         }
+        reg.planner().force(None);
     }
 
     #[test]
     fn eval_many_cached_is_bitwise_and_hits_on_reuse() {
         let net_a = net();
-        let net_b = Arc::new(Mlp::new(
-            vec![Layer::Dense(DenseLayer::new(
-                Matrix::from_vec(2, 2, vec![0.5, -0.25, 1.0, 0.75]),
-                vec![],
-                Activation::Identity,
-            ))],
-            vec![2.0, -1.0],
-            0.1,
-        ));
+        let net_b = net_b();
         let mut reg = PlanRegistry::new();
         let a0 = reg
             .register(Arc::clone(&net_a), &InjectionPlan::crash([(0, 1)]), 1.0)
@@ -390,7 +598,8 @@ mod tests {
         let mut cache = crate::CheckpointCache::new(4);
         let mut scratch = BatchWorkspace::default();
         // Cold call: one miss per net group; warm call: one hit per group
-        // — and both are bitwise the uncached engine.
+        // — and both are bitwise the uncached engine. The planner must
+        // keep picking the cached engine here or the counters drift.
         for (round, expected_hits) in [(0u32, 0u64), (1, 2)] {
             let got = reg.eval_many_cached(&ids, &xs, &mut cache, &mut scratch);
             for (pi, (g, r)) in got.iter().zip(&reference).enumerate() {
@@ -405,6 +614,34 @@ mod tests {
             assert_eq!(cache.stats().hits, expected_hits);
         }
         assert_eq!(cache.stats().misses, 2);
+        let picks = reg.planner().stats().picks;
+        assert_eq!(picks[Engine::Cached.index()], 4, "2 families × 2 rounds");
+    }
+
+    #[test]
+    fn identical_plans_share_one_evaluation() {
+        let net = net();
+        let mut reg = PlanRegistry::new();
+        let plan = InjectionPlan::crash([(0, 1)]);
+        let a = reg.register(Arc::clone(&net), &plan, 1.0).unwrap();
+        let b = reg.register(Arc::clone(&net), &plan, 1.0).unwrap();
+        assert!(reg
+            .get(a)
+            .unwrap()
+            .ir()
+            .shares_body_with(reg.get(b).unwrap().ir()));
+        assert_eq!(reg.admission_stats().dedup_hits, 1);
+        let xs = Matrix::from_vec(2, 2, vec![0.3, 0.6, -0.1, 0.8]);
+        let many = reg.eval_many(&[a, b], &xs);
+        for (x, y) in many[0].iter().zip(&many[1]) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(reg.planner().stats().dedup_hits, 1);
+        let mut ws = BatchWorkspace::default();
+        let direct = reg.get(a).unwrap().eval_batch(&xs, &mut ws);
+        for (g, d) in many[0].iter().zip(&direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
     }
 
     #[test]
@@ -427,6 +664,6 @@ mod tests {
 
     #[test]
     fn display_is_stable() {
-        assert_eq!(PlanId(3).to_string(), "plan#3");
+        assert_eq!(PlanId(3).to_string(), "plan#3")
     }
 }

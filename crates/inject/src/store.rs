@@ -28,10 +28,12 @@
 //!     48     …  payload            (little-endian 64-bit words)
 //! ```
 //!
-//! Record kinds: `0` nominal checkpoint, `1` trained network; kind `2`
-//! is reserved for compiled plans (the header carries kind + reserved
-//! bytes precisely so future artifact kinds need no format bump). A
-//! checkpoint payload embeds the **full serialized network**
+//! Record kinds: `0` nominal checkpoint, `1` trained network, `2`
+//! compiled plan — the admission pipeline's value-independent plan
+//! bodies, keyed by `(net hash, structure-bytes hash)` so a restarted
+//! process warm-starts admission (see [`crate::ir`]). The header carries
+//! kind + reserved bytes precisely so new artifact kinds need no format
+//! bump. A checkpoint payload embeds the **full serialized network**
 //! ([`net_to_bytes`]) and the full input set alongside the per-layer
 //! taps, because the store inherits the cache's core rule: *hashes are
 //! the index, never the proof*. A hit is admitted only after the header
@@ -82,6 +84,7 @@ use neurofail_tensor::io::{checksum64, ByteReader, ByteWriter, DecodeError, Mapp
 use neurofail_tensor::Matrix;
 
 use crate::cache::{input_set_hash, net_content_hash};
+use crate::executor::CompiledPlan;
 
 /// Store format version carried in every record and index header.
 pub const STORE_FORMAT_VERSION: u8 = 1;
@@ -90,7 +93,8 @@ pub const STORE_FORMAT_VERSION: u8 = 1;
 pub const KIND_CHECKPOINT: u8 = 0;
 /// Record kind: a trained network stored under a name.
 pub const KIND_TRAINED_NET: u8 = 1;
-/// Record kind reserved for compiled plans (not yet written).
+/// Record kind: a compiled plan body (value-independent structure with
+/// resolved crash weights), written by the admission pipeline.
 pub const KIND_COMPILED_PLAN: u8 = 2;
 
 const MAGIC: u64 = u64::from_le_bytes(*b"NFART001");
@@ -370,6 +374,80 @@ impl ArtifactStore {
             Err(_) => {
                 self.verify_rejects += 1;
                 self.quarantine(&path, KIND_TRAINED_NET, 0, aux_hash);
+                None
+            }
+        }
+    }
+
+    /// Publish a compiled plan body under `(net_hash, structure bytes)`
+    /// — kind [`KIND_COMPILED_PLAN`], aux hash = checksum of the
+    /// canonical structure bytes. The payload stores the structure bytes
+    /// themselves (hashes index, bytes prove) followed by the encoded
+    /// body. Returns `Ok(false)` if the record already exists.
+    pub(crate) fn store_compiled_plan(
+        &mut self,
+        net_hash: u64,
+        structure: &[u8],
+        body: &CompiledPlan,
+    ) -> io::Result<bool> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(structure);
+        body.encode_body(&mut w);
+        self.publish_record(
+            KIND_COMPILED_PLAN,
+            net_hash,
+            checksum64(structure),
+            &w.into_bytes(),
+        )
+    }
+
+    /// Load the compiled plan body stored under `(net, structure bytes)`,
+    /// verifying checksum, stored structure bytes, a full validating
+    /// decode, and finally a bitwise re-validation of every site and
+    /// resolved crash weight against the live `net`
+    /// ([`CompiledPlan::verify_against`]). Damage — or a record compiled
+    /// against a hash-colliding different network — degrades to `None`
+    /// exactly like checkpoint records (contract 13).
+    pub(crate) fn load_compiled_plan(
+        &mut self,
+        net: &Mlp,
+        structure: &[u8],
+    ) -> Option<CompiledPlan> {
+        let net_hash = net_content_hash(net);
+        let aux_hash = checksum64(structure);
+        let path = self.record_path(KIND_COMPILED_PLAN, net_hash, aux_hash);
+        let map = match MappedFile::open(&path) {
+            Ok(m) => m,
+            Err(_) => {
+                self.misses += 1;
+                self.forget(KIND_COMPILED_PLAN, net_hash, aux_hash);
+                return None;
+            }
+        };
+        let decoded = (|| -> Result<CompiledPlan, DecodeError> {
+            let payload = validate_record(map.bytes(), KIND_COMPILED_PLAN, net_hash, aux_hash)?;
+            let mut r = ByteReader::new(payload);
+            if r.get_bytes()? != structure {
+                return Err(DecodeError("stored structure differs"));
+            }
+            let body = CompiledPlan::decode_body(&mut r)?;
+            if !r.is_exhausted() {
+                return Err(DecodeError("trailing bytes after record"));
+            }
+            if !body.verify_against(net) {
+                return Err(DecodeError("stored body fails net verification"));
+            }
+            Ok(body)
+        })();
+        match decoded {
+            Ok(body) => {
+                self.hits += 1;
+                self.touch(KIND_COMPILED_PLAN, net_hash, aux_hash, map.len() as u64);
+                Some(body)
+            }
+            Err(_) => {
+                self.verify_rejects += 1;
+                self.quarantine(&path, KIND_COMPILED_PLAN, net_hash, aux_hash);
                 None
             }
         }

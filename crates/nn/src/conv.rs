@@ -275,6 +275,28 @@ impl Conv1dLayer {
         let p = self.positions();
         let w = self.kernels.cols();
         let c = self.kernels.rows();
+        if w <= 16 {
+            // Narrow kernels (the common case): the im2col staging copy
+            // costs more than it saves, because the GEMM's K dimension is
+            // tiny. Take each window dot directly off the input row —
+            // `dot_fma(window, kernel_ch)` is exactly the value the tiny-K
+            // GEMM path produces per element (all backends reduce to
+            // `dot_fma` bitwise for K ≤ 16), so this branch is invisible
+            // to the numerics contract above.
+            for bi in 0..batch {
+                let row = input.row(bi);
+                let s_row = sums.row_mut(bi);
+                for ch in 0..c {
+                    let kernel = self.kernels.row(ch);
+                    let b = self.bias.get(ch).copied().unwrap_or(0.0);
+                    for t in 0..p {
+                        s_row[ch * p + t] =
+                            neurofail_tensor::ops::dot_fma(&row[t..t + w], kernel) + b;
+                    }
+                }
+            }
+            return;
+        }
         ensure_shape(&mut scratch.xcol, batch * p, w);
         ensure_shape(&mut scratch.stage, batch * p, c);
         for bi in 0..batch {

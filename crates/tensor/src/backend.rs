@@ -540,12 +540,69 @@ mod avx2 {
     }
 
     /// `out = a · rhsᵀ` over packed panels. Remainder rhs rows (`N mod 4`)
-    /// fall back to `ops::dot_fma` — the identical per-pair math.
+    /// fall back to `ops::dot_fma` — the identical per-pair math. Tiny K
+    /// (≤ 2·KC, the im2col'd conv-kernel shapes) skips packing entirely:
+    /// a panel copy of `rhs` costs more than the multiply at those widths.
     pub(super) fn matmul_nt(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        if a.cols() <= 2 * KC {
+            // Safety: backend selection verified avx2+fma.
+            unsafe { nt_tiny(a, rhs, out) };
+            return;
+        }
         super::panel::with_packed(rhs, |packed| {
             // Safety: backend selection verified avx2+fma.
             unsafe { nt_rows(a, rhs, packed, out) }
         });
+    }
+
+    /// Tiny-K (`K ≤ 2·KC`) row sweep: no packing, no 4-row tiling. Each
+    /// output is one or two full-chunk FMA rounds into zeroed ymm
+    /// accumulators, the `lane_sum`-identical reduction, and a
+    /// sequential-FMA k-tail — bitwise the portable tiny kernel (and
+    /// therefore `ops::dot_fma`).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA (checked by backend selection).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn nt_tiny(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        let k = a.cols();
+        let n = rhs.rows();
+        for (ai, o_row) in out.data_mut().chunks_exact_mut(n).enumerate() {
+            let a_row = a.row(ai);
+            if k < KC {
+                for (w_row, o) in rhs.data().chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut tail = 0.0f64;
+                    for (x, w) in a_row.iter().zip(w_row) {
+                        tail = x.mul_add(*w, tail);
+                    }
+                    *o = 0.0 + tail;
+                }
+            } else {
+                // One or two full KC chunks (k ≤ 2·KC), then the scalar
+                // tail — chunk boundaries exactly as `ops::dot_fma`.
+                let chunks = k / KC;
+                let x_tail = &a_row[chunks * KC..];
+                for (w_row, o) in rhs.data().chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut lo = _mm256_setzero_pd();
+                    let mut hi = _mm256_setzero_pd();
+                    for c in 0..chunks {
+                        let xp = a_row.as_ptr().add(c * KC);
+                        let wp = w_row.as_ptr().add(c * KC);
+                        lo = _mm256_fmadd_pd(_mm256_loadu_pd(xp), _mm256_loadu_pd(wp), lo);
+                        hi = _mm256_fmadd_pd(
+                            _mm256_loadu_pd(xp.add(4)),
+                            _mm256_loadu_pd(wp.add(4)),
+                            hi,
+                        );
+                    }
+                    let mut tail = 0.0f64;
+                    for (x, w) in x_tail.iter().zip(&w_row[chunks * KC..]) {
+                        tail = x.mul_add(*w, tail);
+                    }
+                    *o = lane_sum_256(lo, hi) + tail;
+                }
+            }
+        }
     }
 
     /// The row sweep of [`matmul_nt`], feature-gated as a whole so
@@ -799,12 +856,67 @@ mod avx512 {
     }
 
     /// `out = a · rhsᵀ` over the shared packed panels (remainder rhs rows
-    /// via `ops::dot_fma`, like the AVX2 path).
+    /// via `ops::dot_fma`, like the AVX2 path). Tiny K skips packing —
+    /// see the AVX2 twin.
     pub(super) fn matmul_nt(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        if a.cols() <= 2 * KC {
+            // Safety: backend selection verified avx512f support.
+            unsafe { nt_tiny(a, rhs, out) };
+            return;
+        }
         super::panel::with_packed(rhs, |packed| {
             // Safety: backend selection verified avx512f support.
             unsafe { nt_rows(a, rhs, packed, out) }
         });
+    }
+
+    /// Tiny-K (`K ≤ 2·KC`) row sweep: one or two full-chunk zmm FMA
+    /// rounds into a zeroed accumulator, the halved-zmm reduction
+    /// (order-identical to the portable `lane_sum`) and a
+    /// sequential-FMA k-tail — bitwise the portable tiny kernel.
+    ///
+    /// # Safety
+    /// Requires AVX-512F (+AVX2/FMA for the reduction).
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    unsafe fn nt_tiny(a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        let k = a.cols();
+        let n = rhs.rows();
+        for (ai, o_row) in out.data_mut().chunks_exact_mut(n).enumerate() {
+            let a_row = a.row(ai);
+            if k < KC {
+                for (w_row, o) in rhs.data().chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut tail = 0.0f64;
+                    for (x, w) in a_row.iter().zip(w_row) {
+                        tail = x.mul_add(*w, tail);
+                    }
+                    *o = 0.0 + tail;
+                }
+            } else {
+                // One or two full KC chunks (k ≤ 2·KC), then the scalar
+                // tail — chunk boundaries exactly as `ops::dot_fma`.
+                let chunks = k / KC;
+                let x_tail = &a_row[chunks * KC..];
+                for (w_row, o) in rhs.data().chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut acc = _mm512_setzero_pd();
+                    for c in 0..chunks {
+                        acc = _mm512_fmadd_pd(
+                            _mm512_loadu_pd(a_row.as_ptr().add(c * KC)),
+                            _mm512_loadu_pd(w_row.as_ptr().add(c * KC)),
+                            acc,
+                        );
+                    }
+                    let mut tail = 0.0f64;
+                    for (xi, w) in x_tail.iter().zip(&w_row[chunks * KC..]) {
+                        tail = xi.mul_add(*w, tail);
+                    }
+                    let lo = _mm512_castpd512_pd256(acc);
+                    let hi = _mm512_extractf64x4_pd::<1>(acc);
+                    let s = _mm256_add_pd(lo, hi);
+                    let h = _mm_hadd_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd::<1>(s));
+                    *o = _mm_cvtsd_f64(_mm_add_sd(h, _mm_unpackhi_pd(h, h))) + tail;
+                }
+            }
+        }
     }
 
     /// The row sweep of [`matmul_nt`], feature-gated as a whole so
@@ -1120,6 +1232,34 @@ mod tests {
         });
         assert_eq!(inner.kind(), BackendKind::Portable);
         assert_eq!(active_kind(), ambient);
+    }
+
+    #[test]
+    fn tiny_k_path_is_bitwise_dot_fma_on_every_backend() {
+        // K ≤ 16 takes the tiny-K specialization (no packing, no 4-row
+        // tiling); K = 17 is the first general-kernel width. Every
+        // element must equal the `ops::dot_fma` reference bitwise on
+        // every backend claiming bitwise parity — the specialization is
+        // a speed change, never a value change.
+        for k in 1..=17usize {
+            let (a, w) = mats(5, k, 7);
+            for kind in supported_kinds() {
+                if kind == BackendKind::Mixed32 {
+                    continue; // reduced precision is exempt by contract
+                }
+                let mut got = Matrix::zeros(5, 7);
+                backend_for(kind).matmul_nt(&a, &w, &mut got);
+                for r in 0..5 {
+                    for j in 0..7 {
+                        assert_eq!(
+                            got.get(r, j).to_bits(),
+                            crate::ops::dot_fma(a.row(r), w.row(j)).to_bits(),
+                            "k={k} kind={kind:?} ({r},{j})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -280,6 +280,15 @@ impl Matrix {
         let n = rhs.rows;
         const JT: usize = 4;
         const L: usize = ops::LANES;
+        // Tiny-K fast path: im2col'd conv kernels (K ≤ 2·LANES, e.g. a
+        // width-9 window) spend the general kernel's time zeroing and
+        // spilling the 4-tile accumulator block rather than multiplying.
+        // One k-chunk fits the lane accumulator exactly, so specialize —
+        // per-element arithmetic (FMA-from-zero chunk, sequential-FMA
+        // tail, `lane_sum` reduction) is unchanged, bitwise.
+        if k_dim <= 2 * L {
+            return self.matmul_nt_tiny(rhs, out);
+        }
         for (a_row, o_row) in self
             .data
             .chunks_exact(k_dim)
@@ -344,6 +353,52 @@ impl Matrix {
                 .zip(o_blocks.into_remainder().iter_mut())
             {
                 *o = ops::dot_fma(a_row, w_row);
+            }
+        }
+    }
+
+    /// Tiny-K (`K ≤ 2·LANES`) specialization behind
+    /// [`Matrix::matmul_nt_portable`]: no 4-row tiling (nothing to
+    /// amortize at one or two k-chunks), no per-block accumulator
+    /// zeroing — the a-row's chunk/tail split is hoisted out of the
+    /// column loop and each output is one fused pass. Per-element values
+    /// are bitwise [`ops::dot_fma`], exactly like the general kernel.
+    pub(crate) fn matmul_nt_tiny(&self, rhs: &Matrix, out: &mut Matrix) {
+        let k = self.cols;
+        let n = rhs.rows;
+        const L: usize = ops::LANES;
+        for (a_row, o_row) in self.data.chunks_exact(k).zip(out.data.chunks_exact_mut(n)) {
+            if k < L {
+                for (w_row, o) in rhs.data.chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut tail = 0.0f64;
+                    for (x, w) in a_row.iter().zip(w_row) {
+                        tail = x.mul_add(*w, tail);
+                    }
+                    // `0.0 +` mirrors the general kernel's empty-chunk
+                    // `lane_sum(zeros) + tail` (−0.0 semantics included).
+                    *o = 0.0 + tail;
+                }
+            } else {
+                // One or two full LANES chunks (k ≤ 2·LANES), then the
+                // scalar tail — chunk boundaries exactly as `dot_fma`'s
+                // `chunks_exact(LANES)` draws them.
+                let chunks = k / L;
+                let x_tail = &a_row[chunks * L..];
+                for (w_row, o) in rhs.data.chunks_exact(k).zip(o_row.iter_mut()) {
+                    let mut acc = [0.0f64; L];
+                    for c in 0..chunks {
+                        let x_c = &a_row[c * L..(c + 1) * L];
+                        let w_c = &w_row[c * L..(c + 1) * L];
+                        for i in 0..L {
+                            acc[i] = x_c[i].mul_add(w_c[i], acc[i]);
+                        }
+                    }
+                    let mut tail = 0.0f64;
+                    for (x, w) in x_tail.iter().zip(&w_row[chunks * L..]) {
+                        tail = x.mul_add(*w, tail);
+                    }
+                    *o = ops::lane_sum(acc) + tail;
+                }
             }
         }
     }
