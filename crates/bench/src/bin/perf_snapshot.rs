@@ -1,11 +1,13 @@
 //! Machine-readable performance snapshot: one JSON file
-//! (`BENCH_PR9.json`) covering the workspace's engine hot paths —
+//! (`BENCH_PR10.json`) covering the workspace's engine hot paths —
 //! campaign evaluation, training epochs, serve throughput, multi-plan
 //! evaluation, streaming input-incremental evaluation, the persistent
 //! artifact store's cold-vs-warm measured search and serve warm start,
 //! the cost-model planner against fixed single-engine baselines over a
-//! mixed workload, plus per-backend GEMM and the im2col-vs-per-row
-//! Conv1d lowering — so
+//! mixed workload, per-backend GEMM and the im2col-vs-per-row
+//! Conv1d lowering, plus multi-process fleet saturation (the same
+//! pipelined query mix against real worker processes at N = 1, 2, 4
+//! next to the in-process baseline) — so
 //! the perf trajectory is tracked across PRs by diffable numbers rather
 //! than prose. The snapshot records which compute backend served the run
 //! and the CPU features detection saw, so numbers are only compared
@@ -29,6 +31,7 @@ use std::time::Instant;
 use neurofail_core::measured_crash_thresholds;
 use neurofail_data::dataset::Dataset;
 use neurofail_data::rng::rng;
+use neurofail_fleet::{reexec_spawner, FleetConfig, FleetRouter};
 use neurofail_inject::exhaustive::Combinations;
 use neurofail_inject::{
     output_error_many, run_campaign, ArtifactStore, CampaignConfig, CheckpointCache, CompiledPlan,
@@ -83,6 +86,31 @@ struct Snapshot {
     artifact_store: ArtifactStoreReport,
     /// Admission/planner accounting for the `planner_mixed_*` runs.
     planner: PlannerReport,
+    /// Supervision counters observed across the `fleet_saturation_*`
+    /// runs (PR 10). All zero on a healthy run except `answers` —
+    /// nonzero recovery counters mean the measurement rode through
+    /// worker deaths and is not comparable to a clean snapshot.
+    fleet: FleetReport,
+}
+
+/// What the multi-process fleet did during the `fleet_saturation_*`
+/// runs, summed over the N = 1, 2, 4 deployments. The CI smoke gate
+/// checks `fleet_saturation_n1` ≥ 0.9× `fleet_single_process` and that
+/// every recovery counter here is zero.
+#[derive(Debug, Default, Serialize)]
+struct FleetReport {
+    /// Queries answered over the wire.
+    answers: u64,
+    /// Rows requeued off dead connections (0 on a healthy run).
+    requeues: u64,
+    /// Worker processes respawned (0 on a healthy run).
+    respawns: u64,
+    /// Worker slots quarantined (0 on a healthy run).
+    worker_quarantines: u64,
+    /// Workers killed for unanswered heartbeats (0 on a healthy run).
+    heartbeat_kills: u64,
+    /// Damaged frames observed (0 on a healthy run).
+    protocol_errors: u64,
 }
 
 /// What the persistent store actually did during the `measured_search_*`
@@ -838,14 +866,108 @@ fn conv_lowering_metrics(smoke: bool, reps: usize) -> Vec<Metric> {
     ]
 }
 
+/// Multi-process fleet saturation: the same pipelined query mix (async
+/// submit, then resolve) against an in-process `CertServer` and against
+/// real worker-process fleets at N = 1, 2, 4. Fleet launch/registration
+/// happens outside the timed region — the metric is steady-state
+/// queries/s, not process spawn time.
+fn fleet_metrics(smoke: bool, reps: usize) -> (Vec<Metric>, FleetReport) {
+    let total = if smoke { 128usize } else { 512 };
+    // Heavy per-query compute (L8 w256): the metric compares serving
+    // architectures, so evaluation must dominate wire framing — a net
+    // this size puts per-frame overhead well under 10% of a query.
+    let net = Arc::new(deep_net(8, 256, 8, 0xF1));
+    let plans: Vec<InjectionPlan> = (0..4).map(|l| InjectionPlan::crash([(l, 1)])).collect();
+    let input = |q: usize| -> Vec<f64> {
+        (0..8)
+            .map(|d| ((q * 8 + d) as f64 * 0.37).sin() * 0.5)
+            .collect()
+    };
+    let units = total as u64;
+    let mut metrics = Vec::new();
+
+    // In-process baseline, same pipelined shape.
+    let mut registry = PlanRegistry::new();
+    let ids: Vec<_> = plans
+        .iter()
+        .map(|p| registry.register(Arc::clone(&net), p, 1.0).unwrap())
+        .collect();
+    let server = CertServer::start(&registry, ServeConfig::default());
+    let seconds = best_of(reps, || {
+        let handles: Vec<_> = (0..total)
+            .map(|q| server.submit(ids[q % 4], input(q)).expect("submit"))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.wait().expect("answer"))
+            .sum::<f64>()
+    });
+    server.shutdown();
+    metrics.push(Metric {
+        name: "fleet_single_process".into(),
+        workload: format!("L8 w256 net, {total} pipelined queries, in-process server"),
+        seconds,
+        units,
+        throughput: units as f64 / seconds,
+    });
+
+    let mut report = FleetReport::default();
+    for n in [1usize, 2, 4] {
+        let fleet = FleetRouter::start(FleetConfig::default(), n, reexec_spawner(Vec::new()))
+            .expect("fleet starts");
+        let fids: Vec<_> = plans
+            .iter()
+            .map(|p| fleet.register_hot(&net, p, 1.0).expect("register"))
+            .collect();
+        // Warm every (plan, worker) route: hot plans round-robin, so n
+        // queries per plan touch all n workers, pulling lazy
+        // registration (net transfer + embedded-server rebuild) out of
+        // the timed region. The metric is steady-state serving.
+        for f in &fids {
+            for _ in 0..n {
+                fleet.query(*f, &input(0)).expect("warm query");
+            }
+        }
+        let seconds = best_of(reps, || {
+            let handles: Vec<_> = (0..total)
+                .map(|q| fleet.submit(fids[q % 4], input(q)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.wait().expect("fleet answer"))
+                .sum::<f64>()
+        });
+        let stats = fleet.shutdown();
+        report.answers += stats.answers;
+        report.requeues += stats.requeues;
+        report.respawns += stats.respawns;
+        report.worker_quarantines += stats.worker_quarantines;
+        report.heartbeat_kills += stats.heartbeat_kills;
+        report.protocol_errors += stats.protocol_errors;
+        metrics.push(Metric {
+            name: format!("fleet_saturation_n{n}"),
+            workload: format!("L8 w256 net, {total} pipelined queries, {n} worker processes"),
+            seconds,
+            units,
+            throughput: units as f64 / seconds,
+        });
+    }
+    (metrics, report)
+}
+
 fn main() {
+    // Worker mode: fleets spawned by `fleet_metrics` re-exec this very
+    // binary with the fleet environment set. Divert before anything else.
+    if std::env::var(neurofail_fleet::ENV_ADDR).is_ok() {
+        std::process::exit(neurofail_fleet::run_worker_from_env());
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let reps = if smoke { 1 } else { 3 };
 
     let (serve, serve_recovery) = serve_metric(smoke, reps);
@@ -862,9 +984,11 @@ fn main() {
     metrics.extend(planner_m);
     metrics.extend(gemm_backend_metrics(smoke, reps));
     metrics.extend(conv_lowering_metrics(smoke, reps));
+    let (fleet_m, fleet) = fleet_metrics(smoke, reps);
+    metrics.extend(fleet_m);
 
     let snapshot = Snapshot {
-        schema: "neurofail-perf/PR9".into(),
+        schema: "neurofail-perf/PR10".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         backend: backend::active_kind().name().to_string(),
         cpu_features: backend::detected_features()
@@ -875,6 +999,7 @@ fn main() {
         serve_recovery,
         artifact_store,
         planner,
+        fleet,
     };
     let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
     std::fs::write(&out, &json).expect("snapshot written");

@@ -1,0 +1,221 @@
+//! Socket transport: one duplex byte stream per worker, over unix domain
+//! sockets or localhost TCP.
+//!
+//! The router binds one listener and every worker process dials in, so no
+//! per-worker port bookkeeping exists: a fleet address is a single string
+//! (`unix:/path/to.sock` or `tcp:127.0.0.1:PORT`) handed to workers
+//! through the environment. Both stream flavours expose the same small
+//! surface the protocol layer needs — blocking reads with an optional
+//! timeout, `try_clone` for the reader/writer split, and a hard shutdown
+//! for connection resets.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Which socket family a fleet uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Unix domain socket in the system temp directory (unix platforms;
+    /// falls back to [`Transport::Tcp`] elsewhere).
+    Unix,
+    /// TCP on `127.0.0.1`, ephemeral port.
+    Tcp,
+}
+
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The router's accept side.
+#[derive(Debug)]
+pub enum FleetListener {
+    /// Unix listener plus the socket path (removed on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+    /// Localhost TCP listener.
+    Tcp(TcpListener),
+}
+
+impl FleetListener {
+    /// Bind a fresh listener of the requested flavour.
+    pub fn bind(transport: Transport) -> io::Result<FleetListener> {
+        match transport {
+            #[cfg(unix)]
+            Transport::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "nf-fleet-{}-{}.sock",
+                    std::process::id(),
+                    SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                Ok(FleetListener::Unix(UnixListener::bind(&path)?, path))
+            }
+            #[cfg(not(unix))]
+            Transport::Unix => Ok(FleetListener::Tcp(TcpListener::bind("127.0.0.1:0")?)),
+            Transport::Tcp => Ok(FleetListener::Tcp(TcpListener::bind("127.0.0.1:0")?)),
+        }
+    }
+
+    /// The dialable address string workers receive (`unix:<path>` or
+    /// `tcp:<host:port>`).
+    pub fn addr(&self) -> String {
+        match self {
+            #[cfg(unix)]
+            FleetListener::Unix(_, path) => format!("unix:{}", path.display()),
+            FleetListener::Tcp(l) => format!(
+                "tcp:{}",
+                l.local_addr()
+                    .map_or_else(|_| "?".into(), |a| a.to_string())
+            ),
+        }
+    }
+
+    /// Block until one worker dials in.
+    pub fn accept(&self) -> io::Result<FleetStream> {
+        match self {
+            #[cfg(unix)]
+            FleetListener::Unix(l, _) => l.accept().map(|(s, _)| FleetStream::Unix(s)),
+            FleetListener::Tcp(l) => l.accept().map(|(s, _)| FleetStream::Tcp(s)),
+        }
+    }
+}
+
+impl Drop for FleetListener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let FleetListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One duplex connection between the router and a worker.
+#[derive(Debug)]
+pub enum FleetStream {
+    /// Unix-socket flavour.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// Localhost-TCP flavour.
+    Tcp(TcpStream),
+}
+
+impl FleetStream {
+    /// Dial a fleet address produced by [`FleetListener::addr`].
+    pub fn connect(addr: &str) -> io::Result<FleetStream> {
+        if let Some(_path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return Ok(FleetStream::Unix(UnixStream::connect(_path)?));
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets unavailable on this platform",
+            ));
+        }
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            return Ok(FleetStream::Tcp(TcpStream::connect(hostport)?));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "fleet address must start with unix: or tcp:",
+        ))
+    }
+
+    /// A second handle onto the same connection (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<FleetStream> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.try_clone().map(FleetStream::Unix),
+            FleetStream::Tcp(s) => s.try_clone().map(FleetStream::Tcp),
+        }
+    }
+
+    /// Bound blocking reads (None = block forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.set_read_timeout(t),
+            FleetStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Hard connection reset: both directions, effective immediately in
+    /// the peer's blocked reads.
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            FleetStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+impl Read for FleetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.read(buf),
+            FleetStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for FleetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.write(buf),
+            FleetStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            FleetStream::Unix(s) => s.flush(),
+            FleetStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_roundtrip() {
+        let l = FleetListener::bind(Transport::Tcp).unwrap();
+        let addr = l.addr();
+        let t = std::thread::spawn(move || {
+            let mut c = FleetStream::connect(&addr).unwrap();
+            c.write_all(b"hello").unwrap();
+        });
+        let mut s = l.accept().unwrap();
+        let mut buf = [0u8; 5];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        t.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_roundtrip_and_socket_cleanup() {
+        let l = FleetListener::bind(Transport::Unix).unwrap();
+        let addr = l.addr();
+        let path = std::path::PathBuf::from(addr.strip_prefix("unix:").unwrap());
+        assert!(path.exists());
+        let t = std::thread::spawn(move || {
+            let mut c = FleetStream::connect(&addr).unwrap();
+            c.write_all(b"ok").unwrap();
+        });
+        let mut s = l.accept().unwrap();
+        let mut buf = [0u8; 2];
+        s.read_exact(&mut buf).unwrap();
+        t.join().unwrap();
+        drop(s);
+        drop(l);
+        assert!(!path.exists(), "socket file must be removed on drop");
+    }
+}

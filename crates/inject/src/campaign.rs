@@ -131,9 +131,43 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     policy: Parallelism,
 ) -> CampaignResult {
+    merge_trials(run_campaign_trials(
+        net, counts, kind, cfg, policy, 0, cfg.trials,
+    ))
+}
+
+/// One trial's accumulated moments plus its own worst observation — the
+/// shard-transportable unit of a campaign. A vector of these, in trial
+/// order, carries everything [`merge_trials`] needs to reproduce
+/// [`run_campaign`]'s result bitwise, which is what lets trial ranges be
+/// computed anywhere (threads, processes, machines) and merged later.
+pub type TrialResult = (OnlineStats, Option<WorstCase>);
+
+/// Run trials `first .. first + count` of the campaign `cfg` describes,
+/// returning one [`TrialResult`] per trial in trial order.
+///
+/// Trials are mutually independent — trial `t` depends on the campaign
+/// only through its derived seed `SeedSequence::new(cfg.seed).seed_for(t)`
+/// — so *any* partition of `0..cfg.trials` into ranges, computed under any
+/// policy on any host, concatenates (in trial order) to the exact
+/// per-trial vector a single [`run_campaign`] run produces. This is the
+/// sharding primitive behind the fleet's distributed campaign scheduler.
+///
+/// # Panics
+/// On count/shape mismatches (see the samplers).
+pub fn run_campaign_trials(
+    net: &Mlp,
+    counts: &[usize],
+    kind: TrialKind,
+    cfg: &CampaignConfig,
+    policy: Parallelism,
+    first: usize,
+    count: usize,
+) -> Vec<TrialResult> {
     let seeds = SeedSequence::new(cfg.seed);
     let d = net.input_dim();
-    let per_trial: Vec<(OnlineStats, Option<WorstCase>)> = parallel_map(policy, cfg.trials, |t| {
+    parallel_map(policy, count, |i| {
+        let t = first + i;
         let trial_seed = seeds.seed_for(t as u64);
         let mut rng = det_rng(trial_seed);
         let plan = match kind {
@@ -206,8 +240,17 @@ pub fn run_campaign(
             remaining -= n;
         }
         (stats, worst)
-    });
+    })
+}
 
+/// Fold per-trial results (in trial order) into a [`CampaignResult`] —
+/// the exact accumulation [`run_campaign`] performs. Stats merge with
+/// Chan's pairwise update in the given order, and the worst case is the
+/// first strictly-greatest disturbance in trial order, so a scheduler
+/// that collects shards out of order only has to sort them by trial index
+/// (each [`WorstCase`] records its own) to reproduce the single-run
+/// result bit for bit — merge *arrival* order is irrelevant.
+pub fn merge_trials(per_trial: Vec<TrialResult>) -> CampaignResult {
     let mut stats = OnlineStats::new();
     let mut worst: Option<WorstCase> = None;
     for (s, w) in per_trial {
@@ -268,6 +311,50 @@ mod tests {
         assert_eq!(a.max_error(), b.max_error());
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.stats.mean, b.stats.mean);
+    }
+
+    #[test]
+    fn sharded_trial_ranges_merge_bitwise_equal_to_one_run() {
+        // The distributed-campaign contract: any partition of the trial
+        // range, computed independently and merged in trial order,
+        // reproduces the single-run result bit for bit.
+        let net = net();
+        let cfg = CampaignConfig {
+            trials: 23,
+            inputs_per_trial: 6,
+            ..CampaignConfig::default()
+        };
+        let whole = run_campaign(
+            &net,
+            &[2, 1],
+            TrialKind::Neurons(FaultSpec::Crash),
+            &cfg,
+            Parallelism::Sequential,
+        );
+        for splits in [vec![23], vec![9, 14], vec![5, 5, 5, 8], vec![1; 23]] {
+            let mut per_trial = Vec::new();
+            let mut first = 0;
+            for count in splits {
+                per_trial.extend(run_campaign_trials(
+                    &net,
+                    &[2, 1],
+                    TrialKind::Neurons(FaultSpec::Crash),
+                    &cfg,
+                    Parallelism::Sequential,
+                    first,
+                    count,
+                ));
+                first += count;
+            }
+            let merged = merge_trials(per_trial);
+            assert_eq!(merged.stats.mean.to_bits(), whole.stats.mean.to_bits());
+            assert_eq!(
+                merged.stats.std_dev.to_bits(),
+                whole.stats.std_dev.to_bits()
+            );
+            assert_eq!(merged.evaluations, whole.evaluations);
+            assert_eq!(merged.worst, whole.worst);
+        }
     }
 
     #[test]

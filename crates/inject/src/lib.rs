@@ -58,7 +58,10 @@ pub mod store;
 pub mod streaming;
 
 pub use cache::{input_set_hash, net_content_hash, CacheStats, CachedCheckpoint, CheckpointCache};
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, TrialKind};
+pub use campaign::{
+    merge_trials, run_campaign, run_campaign_trials, CampaignConfig, CampaignResult, TrialKind,
+    TrialResult, WorstCase,
+};
 pub use executor::{CompiledPlan, PlanError};
 pub use ir::{nets_content_equal, Admission, AdmissionStats, PlanIr};
 pub use multi::{output_error_many, MultiPlanEvaluator};

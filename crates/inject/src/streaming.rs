@@ -49,6 +49,11 @@ pub struct StreamStats {
     /// [`MultiPlanEvaluator::prefix_rows_saved`](crate::MultiPlanEvaluator::prefix_rows_saved)
     /// accounting, summed over chunks and plans).
     pub prefix_rows_saved: u64,
+    /// Oldest rows evicted from the checkpoint by the sliding-window
+    /// budget ([`StreamingEvaluator::with_row_budget`]). Purely an
+    /// accounting signal: retirement never changes a served bit, only
+    /// what a later back-fill can resume against.
+    pub rows_retired: u64,
 }
 
 /// Incremental evaluator of a fixed plan family over a growing input set.
@@ -106,6 +111,9 @@ pub struct StreamingEvaluator {
     chunk_ck: BatchWorkspace,
     /// Scratch for resumed faulty suffixes.
     scratch: BatchWorkspace,
+    /// Sliding-window budget: after each chunk, evict the oldest rows
+    /// past this many (None = grow forever, the original lifecycle).
+    row_budget: Option<usize>,
     stats: StreamStats,
 }
 
@@ -125,8 +133,33 @@ impl StreamingEvaluator {
             nominal_y: Vec::new(),
             chunk_ck: BatchWorkspace::default(),
             scratch: BatchWorkspace::default(),
+            row_budget: None,
             stats: StreamStats::default(),
         }
+    }
+
+    /// Cap the retained checkpoint at `budget` rows: after every chunk,
+    /// the oldest rows past the budget are retired (inputs, checkpoint
+    /// and nominal outputs together — the eviction companion to
+    /// [`Matrix::append_rows`]). Per-chunk disturbance vectors are
+    /// **unchanged bitwise** for every budget (each chunk's rows never
+    /// depended on older rows); only the window
+    /// [`Self::eval_plan_over_stream`] can back-fill over shrinks, and
+    /// [`StreamStats::rows_retired`] counts what was given up. The
+    /// long-running-worker fix: an unbounded stream no longer grows the
+    /// checkpoint without bound.
+    ///
+    /// # Panics
+    /// If `budget` is zero.
+    pub fn with_row_budget(mut self, budget: usize) -> Self {
+        assert!(budget >= 1, "row budget must be >= 1");
+        self.row_budget = Some(budget);
+        self
+    }
+
+    /// The configured sliding-window budget, if any.
+    pub fn row_budget(&self) -> Option<usize> {
+        self.row_budget
     }
 
     /// A streaming evaluator over registered plans. All `ids` must share
@@ -246,6 +279,15 @@ impl StreamingEvaluator {
         // A from-scratch engine would have recomputed every held row
         // through every layer to re-derive the checkpoint this arrival.
         self.stats.nominal_rows_saved += held * depth as u64;
+        if let Some(budget) = self.row_budget {
+            if self.xs.rows() > budget {
+                let evict = self.xs.rows() - budget;
+                self.xs.drop_prefix_rows(evict);
+                self.ws.drop_prefix_rows(evict);
+                self.nominal_y.drain(..evict);
+                self.stats.rows_retired += evict as u64;
+            }
+        }
         results
     }
 
@@ -367,6 +409,40 @@ mod tests {
         let stream = StreamingEvaluator::from_registry(&reg, &[b, a]);
         assert_eq!(stream.plan_ids(), &[b, a]);
         assert_eq!(stream.plans().len(), 2);
+    }
+
+    #[test]
+    fn row_budget_retires_oldest_rows_without_changing_chunk_results() {
+        let net = net();
+        let plans = family(&net);
+        let mut capped =
+            StreamingEvaluator::new(Arc::clone(&net), plans.clone()).with_row_budget(4);
+        let mut unbounded = StreamingEvaluator::new(Arc::clone(&net), plans.clone());
+        for i in 0..5u64 {
+            let chunk = Matrix::from_fn(3, 3, |r, c| 0.04 * (i as usize + r + 2 * c) as f64);
+            let got = capped.push_chunk(&chunk);
+            let want = unbounded.push_chunk(&chunk);
+            for (g, w) in got.iter().flatten().zip(want.iter().flatten()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "eviction changed a served bit");
+            }
+            assert!(
+                capped.rows() <= 4,
+                "budget exceeded: {} rows",
+                capped.rows()
+            );
+        }
+        assert_eq!(capped.stats().rows_retired, 15 - 4);
+        assert_eq!(unbounded.stats().rows_retired, 0);
+        // The window back-fills bitwise against a from-scratch recompute
+        // over the retained inputs.
+        let late = CompiledPlan::compile(&InjectionPlan::crash([(1, 1)]), &net, 1.0).unwrap();
+        let got = capped.eval_plan_over_stream(&late);
+        let mut ws = BatchWorkspace::default();
+        let direct = late.output_error_batch(&net, capped.inputs(), &mut ws);
+        assert_eq!(got.len(), 4);
+        for (g, d) in got.iter().zip(&direct) {
+            assert_eq!(g.to_bits(), d.to_bits());
+        }
     }
 
     #[test]

@@ -950,6 +950,20 @@ impl CertServer {
     /// other thread can still hold `&self` to submit with.
     pub fn shutdown(mut self) -> Vec<ServeStats> {
         self.shutdown_inner();
+        self.final_stats()
+    }
+
+    /// [`shutdown`](Self::shutdown) that also returns the *complete*
+    /// request log: the drain happens before the log is taken, so rows
+    /// still in flight at the call are included — unlike `take_log`
+    /// followed by `shutdown`, which loses entries answered during the
+    /// drain.
+    pub fn retire(mut self) -> (RequestLog, Vec<ServeStats>) {
+        self.shutdown_inner();
+        (self.take_log(), self.final_stats())
+    }
+
+    fn final_stats(&self) -> Vec<ServeStats> {
         self.routes
             .iter()
             .map(|&(shard, _)| {

@@ -108,6 +108,26 @@ impl OnlineStats {
         self.max
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max)` — the
+    /// bitwise transport form for checkpointing or sending an accumulator
+    /// over a wire. [`OnlineStats::from_raw`] restores an accumulator
+    /// whose every subsequent `push`/`merge` is bit-identical to the
+    /// original's.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`OnlineStats::to_raw`] output.
+    pub fn from_raw(raw: (u64, f64, f64, f64, f64)) -> Self {
+        OnlineStats {
+            count: raw.0,
+            mean: raw.1,
+            m2: raw.2,
+            min: raw.3,
+            max: raw.4,
+        }
+    }
+
     /// Snapshot into a plain serialisable record.
     pub fn summary(&self) -> Summary {
         Summary {

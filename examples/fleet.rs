@@ -1,0 +1,132 @@
+//! Fleet demo: spread certification serving and a fault-injection
+//! campaign across real worker *processes*, then SIGKILL one mid-run and
+//! watch supervision requeue its work — every answer still bitwise equal
+//! to a single-process evaluation.
+//!
+//! ```sh
+//! cargo run --release --example fleet
+//! ```
+//!
+//! The binary doubles as its own worker: the router re-executes it with
+//! the fleet environment set, and the guard at the top of `main` diverts
+//! those children into [`run_worker_from_env`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use neurofail::data::{functions::Ridge, rng::rng, Dataset};
+use neurofail::fleet::{reexec_spawner, run_worker_from_env, FleetConfig, FleetRouter, ENV_ADDR};
+use neurofail::inject::{CampaignConfig, FaultSpec, InjectionPlan, TrialKind};
+use neurofail::nn::activation::Activation;
+use neurofail::nn::builder::MlpBuilder;
+use neurofail::nn::train::{train, TrainConfig};
+use neurofail::tensor::init::Init;
+
+fn main() {
+    // Worker mode: children spawned by the router land here.
+    if std::env::var(ENV_ADDR).is_ok() {
+        std::process::exit(run_worker_from_env());
+    }
+
+    // 1. Train the network whose robustness we will certify.
+    let target = Ridge::canonical(2);
+    let mut r = rng(42);
+    let data = Dataset::sample(&target, 256, &mut r);
+    let mut net = MlpBuilder::new(2)
+        .dense(16, Activation::Sigmoid { k: 1.0 })
+        .dense(12, Activation::Sigmoid { k: 1.0 })
+        .init(Init::Xavier)
+        .build(&mut r);
+    let report = train(
+        &mut net,
+        &data,
+        &TrainConfig {
+            epochs: 60,
+            ..TrainConfig::default()
+        },
+        &mut r,
+    );
+    println!("trained: final mse {:.2e}", report.final_mse());
+
+    // 2. Start a two-worker fleet and register fault hypotheses. Hot
+    //    plans spread their input space round-robin over the workers.
+    let net = Arc::new(net);
+    let fleet = FleetRouter::start(FleetConfig::default(), 2, reexec_spawner(Vec::new()))
+        .expect("fleet starts");
+    let single = fleet
+        .register_hot(&net, &InjectionPlan::crash([(0, 3)]), 1.0)
+        .expect("admitted");
+    let double = fleet
+        .register_hot(&net, &InjectionPlan::crash([(0, 3), (1, 5)]), 1.0)
+        .expect("admitted");
+    println!("fleet up: {} workers, plans registered", fleet.workers());
+
+    // 3. Pipeline queries while a sharded campaign runs — and kill one
+    //    worker in the middle of both. Supervision requeues everything
+    //    the dead process owed and respawns the slot.
+    let queries = 64;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..queries)
+        .map(|q| {
+            let x = vec![(q as f64 + 0.5) / queries as f64, 0.25];
+            fleet.submit(if q % 2 == 0 { single } else { double }, x)
+        })
+        .collect();
+    let camp_cfg = CampaignConfig {
+        trials: 24,
+        inputs_per_trial: 8,
+        ..CampaignConfig::default()
+    };
+    let camp = std::thread::scope(|s| {
+        let fleet = &fleet;
+        let net = Arc::clone(&net);
+        let camp = s.spawn(move || {
+            fleet.run_campaign(
+                &net,
+                &[2, 1],
+                TrialKind::Neurons(FaultSpec::Crash),
+                &camp_cfg,
+            )
+        });
+        assert!(fleet.kill_worker(0), "worker 0 had a live process");
+        println!("killed worker 0 mid-campaign");
+        let worst = handles
+            .into_iter()
+            .map(|h| h.wait().expect("survives the kill"))
+            .fold(0.0, f64::max);
+        println!("all {queries} queries answered, worst disturbance {worst:.4}");
+        camp.join().expect("campaign thread")
+    })
+    .expect("campaign survives the kill");
+    println!(
+        "campaign: {} evaluations, mean {:.4}, max {:.4} in {:.2?}",
+        camp.evaluations,
+        camp.stats.mean,
+        camp.stats.max,
+        started.elapsed()
+    );
+
+    // 4. The kill is visible only in the counters: the respawned slot
+    //    re-served its requeued rows, values unchanged.
+    let stats = fleet.stats();
+    println!(
+        "supervision: {} answers, {} requeued, {} respawns, {} quarantines, {} heartbeat kills, {} protocol errors",
+        stats.answers,
+        stats.requeues,
+        stats.respawns,
+        stats.worker_quarantines,
+        stats.heartbeat_kills,
+        stats.protocol_errors
+    );
+
+    // 5. The determinism audit, over the wire: every surviving worker
+    //    replays its request log bitwise.
+    let audit = fleet.audit();
+    assert!(audit.clean(), "served ≡ direct, bitwise");
+    println!(
+        "audit: {} logged requests replayed bitwise across the fleet",
+        audit.entries()
+    );
+
+    fleet.shutdown();
+}

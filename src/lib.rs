@@ -13,6 +13,7 @@
 pub use neurofail_core as core;
 pub use neurofail_data as data;
 pub use neurofail_distsim as distsim;
+pub use neurofail_fleet as fleet;
 pub use neurofail_inject as inject;
 pub use neurofail_nn as nn;
 pub use neurofail_par as par;

@@ -10,7 +10,11 @@
 //!   nets, every fault kind, every chunking and every `Parallelism`
 //!   policy;
 //! * `CheckpointCache` hits return values bitwise equal to the cold
-//!   path, and LRU eviction never changes a value — only cost.
+//!   path, and LRU eviction never changes a value — only cost;
+//! * sliding-window streaming (`with_row_budget`) retires the oldest
+//!   rows without changing any chunk result, and extending across an
+//!   eviction boundary agrees bitwise with a from-scratch recompute
+//!   over the retained window.
 
 use std::sync::Arc;
 
@@ -362,4 +366,81 @@ fn streaming_accounting_matches_the_cost_model() {
     // The empty plan resumes at depth: every chunk row skips its whole
     // faulty prefix (depth layers × 10 rows).
     assert_eq!(stats.prefix_rows_saved, 4 * 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sliding-window streaming (`with_row_budget`): retiring the oldest
+    /// rows across eviction boundaries never changes a chunk result —
+    /// every chunk's disturbances stay bitwise equal to the direct
+    /// full-batch rows — and extending over the boundary agrees bitwise
+    /// with a from-scratch recompute over exactly the retained window.
+    /// Retirement is visible only in the statistics.
+    #[test]
+    fn sliding_window_extend_is_bitwise_recompute(
+        seed in 0u64..1000,
+        depth in 1usize..4,
+        width in 3usize..8,
+        rows in 1usize..14,
+        budget in 1usize..6,
+        tanh in proptest::bool::ANY,
+    ) {
+        let net = Arc::new(build_net(seed, depth, width, tanh, true));
+        let plans: Vec<CompiledPlan> = plan_family(&net, seed)
+            .iter()
+            .map(|p| CompiledPlan::compile(p, &net, 1.0).unwrap())
+            .collect();
+        let xs = random_inputs(seed, rows, 3);
+        let mut ws = BatchWorkspace::default();
+        let direct: Vec<Vec<f64>> = plans
+            .iter()
+            .map(|p| p.output_error_batch(&net, &xs, &mut ws))
+            .collect();
+        for (shape_idx, shape) in chunkings(rows).into_iter().enumerate() {
+            let mut capped = StreamingEvaluator::new(Arc::clone(&net), plans.clone())
+                .with_row_budget(budget);
+            let mut streamed: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+            let mut start = 0;
+            for rows_in_chunk in shape {
+                let chunk = chunk_of(&xs, start, rows_in_chunk);
+                for (p, errs) in capped.push_chunk(&chunk).into_iter().enumerate() {
+                    streamed[p].extend(errs);
+                }
+                start += rows_in_chunk;
+                // The retained window honours the budget after every push.
+                prop_assert!(capped.rows() <= budget, "chunking {}", shape_idx);
+            }
+            // Chunk results are unchanged by eviction: bitwise the
+            // direct full-batch rows, exactly as without a budget.
+            for (pi, (s, d)) in streamed.iter().zip(&direct).enumerate() {
+                prop_assert_eq!(s.len(), d.len());
+                for (b, (sv, dv)) in s.iter().zip(d).enumerate() {
+                    prop_assert_eq!(
+                        sv.to_bits(), dv.to_bits(),
+                        "chunking {}, plan {}, row {}", shape_idx, pi, b
+                    );
+                }
+            }
+            // Extend-vs-recompute across the eviction boundary: the
+            // retained window evaluates bitwise equal to a from-scratch
+            // batch over exactly those rows.
+            let kept = rows.min(budget);
+            let window = chunk_of(&xs, rows - kept, kept);
+            let mut wws = BatchWorkspace::default();
+            for (pi, plan) in plans.iter().enumerate() {
+                let recomputed = plan.output_error_batch(&net, &window, &mut wws);
+                let extended = capped.eval_plan_over_stream(plan);
+                prop_assert_eq!(extended.len(), recomputed.len());
+                for (b, (ev, rv)) in extended.iter().zip(&recomputed).enumerate() {
+                    prop_assert_eq!(
+                        ev.to_bits(), rv.to_bits(),
+                        "chunking {}, plan {}, window row {}", shape_idx, pi, b
+                    );
+                }
+            }
+            // Retirement shows up only in the stats.
+            prop_assert_eq!(capped.stats().rows_retired, (rows - kept) as u64);
+        }
+    }
 }
